@@ -1,0 +1,83 @@
+//! CLI driver regenerating the paper's tables and figures.
+//!
+//! ```text
+//! experiments all
+//! experiments fig12 fig15 --transactions 1000 --seed 7
+//! ```
+
+use std::process::ExitCode;
+
+use dolos_bench::{ExperimentConfig, ExperimentId};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: experiments <all|{}> [--transactions N] [--warmup N] [--seed N] [--csv DIR]",
+        ExperimentId::ALL
+            .iter()
+            .map(|e| e.name())
+            .collect::<Vec<_>>()
+            .join("|")
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = ExperimentConfig::default();
+    let mut selected: Vec<ExperimentId> = Vec::new();
+    let mut csv_dir: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "all" => selected.extend(ExperimentId::ALL),
+            "--transactions" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.transactions = n,
+                None => return usage(),
+            },
+            "--warmup" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.warmup = n,
+                None => return usage(),
+            },
+            "--seed" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.seed = n,
+                None => return usage(),
+            },
+            "--csv" => match iter.next() {
+                Some(dir) => csv_dir = Some(dir.clone()),
+                None => return usage(),
+            },
+            name => match ExperimentId::parse(name) {
+                Some(id) => selected.push(id),
+                None => return usage(),
+            },
+        }
+    }
+    if selected.is_empty() {
+        return usage();
+    }
+    println!(
+        "# Dolos experiment harness ({} transactions per run, warmup {}, seed {:#x})\n",
+        config.transactions, config.warmup, config.seed
+    );
+    if let Some(dir) = &csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    for id in selected {
+        let start = std::time::Instant::now();
+        for (i, table) in config.run(id).into_iter().enumerate() {
+            println!("{}", table.render());
+            if let Some(dir) = &csv_dir {
+                let path = format!("{dir}/{}_{i}.csv", id.name());
+                if let Err(e) = std::fs::write(&path, table.to_csv()) {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        eprintln!("[{} done in {:.1?}]", id.name(), start.elapsed());
+    }
+    ExitCode::SUCCESS
+}

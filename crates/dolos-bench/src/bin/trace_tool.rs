@@ -1,0 +1,176 @@
+//! Record and replay persist traces from the command line.
+//!
+//! ```text
+//! trace_tool record hashmap --transactions 200 --txn-bytes 1024 --out /tmp/h.trace
+//! trace_tool replay /tmp/h.trace --controller dolos-partial
+//! trace_tool replay /tmp/h.trace            # all controllers
+//! ```
+
+use std::process::ExitCode;
+
+use dolos_core::{ControllerConfig, MiSuKind};
+use dolos_sim::rng::XorShift;
+use dolos_whisper::workloads::WorkloadKind;
+use dolos_whisper::{PmEnv, Trace};
+
+fn usage() -> ExitCode {
+    eprintln!("usage:");
+    eprintln!(
+        "  trace_tool record <workload> [--transactions N] [--txn-bytes N] [--seed N] [--out FILE]"
+    );
+    eprintln!("  trace_tool replay <FILE> [--controller NAME]");
+    eprintln!("workloads: hashmap ctree btree rbtree nstore redis memcached vacation");
+    eprintln!("controllers: ideal deferred pre-wpq-secure dolos-full dolos-partial dolos-post");
+    ExitCode::FAILURE
+}
+
+fn parse_workload(name: &str) -> Option<WorkloadKind> {
+    Some(match name {
+        "hashmap" => WorkloadKind::Hashmap,
+        "ctree" => WorkloadKind::Ctree,
+        "btree" => WorkloadKind::Btree,
+        "rbtree" => WorkloadKind::Rbtree,
+        "nstore" => WorkloadKind::NstoreYcsb,
+        "redis" => WorkloadKind::Redis,
+        "memcached" => WorkloadKind::Memcached,
+        "vacation" => WorkloadKind::Vacation,
+        _ => return None,
+    })
+}
+
+fn parse_controller(name: &str) -> Option<ControllerConfig> {
+    Some(match name {
+        "ideal" => ControllerConfig::ideal(),
+        "deferred" => ControllerConfig::deferred(),
+        "pre-wpq-secure" => ControllerConfig::baseline(),
+        "dolos-full" => ControllerConfig::dolos(MiSuKind::Full),
+        "dolos-partial" => ControllerConfig::dolos(MiSuKind::Partial),
+        "dolos-post" => ControllerConfig::dolos(MiSuKind::Post),
+        _ => return None,
+    })
+}
+
+fn all_controllers() -> Vec<ControllerConfig> {
+    [
+        "ideal",
+        "deferred",
+        "pre-wpq-secure",
+        "dolos-full",
+        "dolos-partial",
+        "dolos-post",
+    ]
+    .iter()
+    .map(|n| parse_controller(n).expect("known name"))
+    .collect()
+}
+
+fn record(args: &[String]) -> ExitCode {
+    let Some(kind) = args.first().and_then(|w| parse_workload(w)) else {
+        return usage();
+    };
+    let mut transactions = 200usize;
+    let mut txn_bytes = 1024usize;
+    let mut seed = 0x5EEDu64;
+    let mut out: Option<String> = None;
+    let mut iter = args[1..].iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--transactions" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) => transactions = n,
+                None => return usage(),
+            },
+            "--txn-bytes" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) => txn_bytes = n,
+                None => return usage(),
+            },
+            "--seed" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) => seed = n,
+                None => return usage(),
+            },
+            "--out" => match iter.next() {
+                Some(f) => out = Some(f.clone()),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let mut config = ControllerConfig::dolos(MiSuKind::Partial);
+    config.region_bytes = 64 << 20;
+    let mut env = PmEnv::new(config);
+    env.start_recording();
+    let mut workload = kind.build();
+    workload.setup(&mut env);
+    let mut rng = XorShift::new(seed);
+    for _ in 0..transactions {
+        workload.transaction(&mut env, txn_bytes, &mut rng);
+    }
+    let trace = env.take_trace().expect("recording was on");
+    eprintln!(
+        "recorded {}: {} ops, {} persisted lines",
+        kind.name(),
+        trace.len(),
+        trace.persist_lines()
+    );
+    let text = trace.serialize();
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, text) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path}");
+        }
+        None => print!("{text}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn replay(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage();
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace = match Trace::parse(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let configs = match args.get(1).map(String::as_str) {
+        Some("--controller") => match args.get(2).and_then(|n| parse_controller(n)) {
+            Some(c) => vec![c],
+            None => return usage(),
+        },
+        Some(_) => return usage(),
+        None => all_controllers(),
+    };
+    println!(
+        "{:<16} {:>14} {:>10} {:>10}",
+        "controller", "cycles", "persists", "retries"
+    );
+    for config in configs {
+        let name = config.kind.name();
+        let result = trace.replay(config);
+        println!(
+            "{:<16} {:>14} {:>10} {:>10}",
+            name, result.cycles, result.persists, result.retries
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("record") => record(&args[1..]),
+        Some("replay") => replay(&args[1..]),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,82 @@
+//! The paper's published numbers, embedded for side-by-side reporting.
+//!
+//! Sources: Figure 12, Figure 16, Table 2, Table 3, §5.2–§5.5 of
+//! Han, Tuck, Awad — "Dolos", MICRO 2021.
+
+/// Workload order used throughout (matches the figures).
+pub const WORKLOADS: [&str; 6] = [
+    "Hashmap",
+    "Ctree",
+    "Btree",
+    "RBtree",
+    "NStore:YCSB",
+    "Redis",
+];
+
+/// Table 2 — WPQ insertion retry events per kilo write requests at
+/// transaction size 1024 B, eager update. Rows follow [`WORKLOADS`];
+/// columns are (Full, Partial, Post).
+pub const TABLE2_RETRIES_PER_KWR: [(f64, f64, f64); 6] = [
+    (182.32, 293.00, 359.30),
+    (88.19, 207.22, 285.24),
+    (106.55, 214.17, 280.80),
+    (120.00, 209.89, 261.22),
+    (1.09, 68.55, 181.95),
+    (106.93, 215.10, 274.43),
+];
+
+/// §5.2.1 — average speedups over the Pre-WPQ-Secure baseline with eager
+/// updates, (Full, Partial, Post).
+pub const FIG12_AVG_SPEEDUP: (f64, f64, f64) = (1.66, 1.66, 1.59);
+
+/// §5.2.1 — NStore highlights: Partial 1.98x, Full 1.90x.
+pub const FIG12_NSTORE: (f64, f64) = (1.90, 1.98);
+
+/// §3 — mean slowdown of performing security before the WPQ relative to
+/// deferring it (Figure 6): 2.1x.
+pub const FIG6_MEAN_SLOWDOWN: f64 = 2.1;
+
+/// §5.3 — Partial-WPQ speedup at WPQ sizes 13/28/57/113 (physical
+/// 16/32/64/128).
+pub const FIG15_SPEEDUPS: [(usize, f64); 4] = [(13, 1.66), (28, 1.85), (57, 1.87), (113, 1.88)];
+
+/// §5.3 — mean retries per KWR at those sizes.
+pub const FIG15_RETRIES: [(usize, f64); 4] = [(13, 201.32), (28, 29.03), (57, 13.55), (113, 11.08)];
+
+/// §5.4 — average speedups with the lazy (ToC/Phoenix) scheme,
+/// (Full, Partial, Post).
+pub const FIG16_AVG_SPEEDUP: (f64, f64, f64) = (1.044, 1.079, 1.071);
+
+/// Table 3 — Mi-SU storage overhead: (counter bytes, MAC bytes,
+/// pad bytes-per-entry, entries) per design.
+pub const TABLE3_STORAGE: [(&str, usize, usize, usize, usize); 3] = [
+    ("Full-WPQ-MiSU", 8, 192, 72, 16),
+    ("Partial-WPQ-MiSU", 8, 128, 80, 13),
+    ("Post-WPQ-MiSU", 8, 128, 80, 10),
+];
+
+/// §5.5 — estimated Full-WPQ Mi-SU recovery time in cycles.
+pub const RECOVERY_FULL_CYCLES: u64 = 44_480;
+
+/// §5.1 — transaction sizes swept in Figures 13/14.
+pub const TXN_SIZES: [usize; 5] = [128, 256, 512, 1024, 2048];
+
+/// §5.1 — mean WPQ request inter-arrival time the paper reports.
+pub const MEAN_ARRIVAL_CYCLES: f64 = 473.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_are_consistent_with_workload_count() {
+        assert_eq!(TABLE2_RETRIES_PER_KWR.len(), WORKLOADS.len());
+    }
+
+    #[test]
+    fn table3_matches_the_wpq_sizing() {
+        assert_eq!(TABLE3_STORAGE[0].4, 16);
+        assert_eq!(TABLE3_STORAGE[1].4, 13);
+        assert_eq!(TABLE3_STORAGE[2].4, 10);
+    }
+}

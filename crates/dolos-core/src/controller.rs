@@ -1,0 +1,782 @@
+//! The secure memory system: frontend, WPQ, background drain, crash and
+//! recovery.
+//!
+//! [`SecureMemorySystem`] composes the Mi-SU, Ma-SU, WPQ and NVM device into
+//! one of four controller architectures (Figure 5 of the paper):
+//!
+//! * **IdealNonSecure** — no security; a persist completes on WPQ insertion.
+//! * **DeferredSecure** — the infeasible Figure 5-c machine: persists
+//!   complete on insertion and the full pipeline runs behind the WPQ with no
+//!   Mi-SU cost. Used only for the motivation comparison (Figure 6).
+//! * **PreWpqSecure** — the Anubis/AGIT baseline: the full security pipeline
+//!   runs *before* insertion, on the critical path of the persist.
+//! * **Dolos** — the paper's design: the Mi-SU protects the WPQ with 0–2
+//!   MACs of critical-path latency; the Ma-SU secures entries after
+//!   eviction.
+//!
+//! Timing is simulated by lazy catch-up: every public operation first
+//! advances the background drain engine to `now`; the drain processes WPQ
+//! entries strictly in order, one at a time (the single redo-log buffer of
+//! §4.4 serializes Ma-SU entries).
+
+use std::collections::VecDeque;
+
+use dolos_nvm::addr::LineAddr;
+use dolos_nvm::wpq::{InsertOutcome, WriteQueue};
+use dolos_nvm::{Line, NvmDevice};
+use dolos_secmem::layout::MetadataLayout;
+use dolos_sim::stats::{Histogram, Running, StatSet};
+use dolos_sim::Cycle;
+
+use crate::config::{ControllerConfig, ControllerKind};
+use crate::error::SecurityError;
+use crate::masu::{MajorSecurityUnit, MasuRecovery};
+use crate::misu::MinorSecurityUnit;
+
+/// Report of a completed recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// WPQ entries replayed from the ADR dump.
+    pub wpq_entries_replayed: usize,
+    /// Ma-SU metadata recovery details (absent for IdealNonSecure).
+    pub masu: Option<MasuRecovery>,
+    /// Estimated recovery cycles for the Mi-SU path (§5.5 model).
+    pub estimated_misu_cycles: u64,
+    /// Measured Ma-SU recovery cycles (shadow scan, Osiris probes, tree
+    /// rebuild), zero for IdealNonSecure.
+    pub measured_masu_cycles: u64,
+}
+
+/// The secure persistent-memory system.
+///
+/// # Examples
+///
+/// ```
+/// use dolos_core::{ControllerConfig, MiSuKind, SecureMemorySystem};
+/// use dolos_sim::Cycle;
+///
+/// let mut system = SecureMemorySystem::new(ControllerConfig::dolos(MiSuKind::Partial));
+/// let addr = 0x1000;
+/// let done = system.persist_write(Cycle::ZERO, addr, &[7; 64]);
+/// // One Mi-SU MAC (160 cycles) in the critical path.
+/// assert_eq!(done.as_u64(), 160);
+/// let (_, data) = system.read(done, addr);
+/// assert_eq!(data, [7; 64]);
+/// ```
+#[derive(Debug)]
+pub struct SecureMemorySystem {
+    config: ControllerConfig,
+    layout: MetadataLayout,
+    nvm: NvmDevice,
+    wpq: WriteQueue,
+    misu: Option<MinorSecurityUnit>,
+    masu: Option<MajorSecurityUnit>,
+    /// Entries being drained (started, not yet cleared), in order, with
+    /// their completion times. Completion is monotone by construction.
+    inflight: VecDeque<(usize, Cycle)>,
+    /// Ready times of queued entries, in insertion order.
+    ready_times: VecDeque<Cycle>,
+    /// Completion time of the most recently started drain (monotonic clamp).
+    last_drain_done: Cycle,
+    /// How many fetched entries may be in flight at once: the drain
+    /// engine's pipeline depth (latency / initiation interval). Entries
+    /// beyond this stay live in the WPQ and remain eligible for coalescing.
+    drain_depth: usize,
+    crashed: bool,
+    persists: u64,
+    retries: u64,
+    persist_latency: Running,
+    persist_histogram: Histogram,
+    read_wpq_hits: u64,
+}
+
+impl SecureMemorySystem {
+    /// Builds a system from a configuration.
+    pub fn new(config: ControllerConfig) -> Self {
+        let layout = MetadataLayout::new(config.region_bytes);
+        let misu = match config.kind {
+            ControllerKind::Dolos(kind) => Some(MinorSecurityUnit::with_mac_latency(
+                kind,
+                config.physical_wpq_entries,
+                config.key_seed,
+                config.latency.mac,
+            )),
+            _ => None,
+        };
+        let masu = match config.kind {
+            ControllerKind::IdealNonSecure => None,
+            _ => Some(MajorSecurityUnit::new(
+                config.scheme,
+                layout,
+                config.latency,
+                config.counter_cache_bytes,
+                config.counter_cache_ways,
+                config.osiris_phase,
+                config.key_seed,
+            )),
+        };
+        let usable = config.usable_wpq_entries();
+        let mut wpq = WriteQueue::new(usable);
+        wpq.set_coalescing(config.coalescing);
+        let drain_depth = match config.kind {
+            ControllerKind::IdealNonSecure | ControllerKind::PreWpqSecure => {
+                (dolos_nvm::device::WRITE_LATENCY / dolos_nvm::device::WRITE_ISSUE_INTERVAL)
+                    as usize
+            }
+            _ => (config.masu_update_cycles() / config.latency.mac.max(1)) as usize + 1,
+        };
+        Self {
+            config,
+            layout,
+            nvm: NvmDevice::new(),
+            wpq,
+            misu,
+            masu,
+            inflight: VecDeque::new(),
+            ready_times: VecDeque::new(),
+            last_drain_done: Cycle::ZERO,
+            drain_depth,
+            crashed: false,
+            persists: 0,
+            retries: 0,
+            persist_latency: Running::new(),
+            persist_histogram: Histogram::new(),
+            read_wpq_hits: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ControllerConfig {
+        &self.config
+    }
+
+    /// The metadata layout (for tests that target metadata regions).
+    pub fn layout(&self) -> &MetadataLayout {
+        &self.layout
+    }
+
+    /// Whether the system is in the crashed (powered-off) state.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Direct access to the NVM device for attack injection in tests and
+    /// examples. Mutating data through this handle models an external
+    /// attacker, not a program write.
+    pub fn nvm_mut(&mut self) -> &mut NvmDevice {
+        &mut self.nvm
+    }
+
+    /// Read-only access to the NVM device.
+    pub fn nvm(&self) -> &NvmDevice {
+        &self.nvm
+    }
+
+    fn drain_one(&mut self, slot: usize, addr: LineAddr, payload: Line, start: Cycle) -> Cycle {
+        match self.config.kind {
+            ControllerKind::IdealNonSecure | ControllerKind::PreWpqSecure => {
+                // Ideal writes plaintext; the baseline writes the ciphertext
+                // it secured before insertion. Either way the drain is just
+                // the data write, and the slot frees when the device accepts
+                // it (not when the cells finish programming).
+                let (accepted, _completed) = self.nvm.write_line_ticket(start, addr, &payload);
+                accepted
+            }
+            ControllerKind::DeferredSecure => {
+                // Full pipeline behind the WPQ, payload still plaintext.
+                self.masu
+                    .as_mut()
+                    .expect("deferred has a Ma-SU")
+                    .process_write(start, addr, &payload, &mut self.nvm)
+            }
+            ControllerKind::Dolos(_) => {
+                // ① decrypt with the slot pad (one XOR), ②③ full pipeline.
+                let misu = self.misu.as_mut().expect("dolos has a Mi-SU");
+                let plaintext = misu.decrypt(slot, &payload);
+                self.masu
+                    .as_mut()
+                    .expect("dolos has a Ma-SU")
+                    .process_write(start + 1, addr, &plaintext, &mut self.nvm)
+            }
+        }
+    }
+
+    /// Advances the background drain engine to `now`: completed entries are
+    /// cleared (strictly in order) and every queued entry is started — the
+    /// Ma-SU engine is pipelined, so starts are paced by the engine model,
+    /// not by the previous entry's completion.
+    fn advance(&mut self, now: Cycle) {
+        // Start up to the engine's pipeline depth: deeper entries stay live
+        // (and coalescible) until a pipeline slot frees.
+        while self.inflight.len() < self.drain_depth {
+            let Some(entry) = self.wpq.fetch_oldest() else {
+                break;
+            };
+            let ready = self
+                .ready_times
+                .pop_front()
+                .expect("ready_times tracks queued entries");
+            let done = self.drain_one(entry.slot, entry.addr, entry.payload, ready);
+            // Clamp monotone so ring clearing stays in order even when a
+            // counter-cache miss inflates one entry's completion.
+            self.last_drain_done = self.last_drain_done.max(done);
+            self.inflight.push_back((entry.slot, self.last_drain_done));
+        }
+        loop {
+            match self.inflight.front() {
+                Some(&(slot, done)) if done <= now => {
+                    self.wpq.clear(slot);
+                    if let Some(misu) = self.misu.as_mut() {
+                        misu.on_clear(slot);
+                    }
+                    self.inflight.pop_front();
+                    // A pipeline slot freed: pull in the next live entry.
+                    if self.inflight.len() + 1 == self.drain_depth {
+                        if let Some(entry) = self.wpq.fetch_oldest() {
+                            let ready = self
+                                .ready_times
+                                .pop_front()
+                                .expect("ready_times tracks queued entries");
+                            let done = self.drain_one(entry.slot, entry.addr, entry.payload, ready);
+                            self.last_drain_done = self.last_drain_done.max(done);
+                            self.inflight.push_back((entry.slot, self.last_drain_done));
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// When the oldest in-flight drain completes (used to wait on a full
+    /// WPQ). The queue being full guarantees an in-flight entry exists.
+    fn next_slot_free_at(&self) -> Cycle {
+        self.inflight
+            .front()
+            .map(|&(_, done)| done)
+            .expect("a full WPQ always has an in-flight drain")
+    }
+
+    /// Persists one cacheline: the core has executed a flush (clwb+fence)
+    /// and blocks until the line is accepted into the persistence domain.
+    ///
+    /// Returns the cycle at which the persist completes. WPQ-full
+    /// conditions retry internally and are counted (Table 2's retry
+    /// events).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system is crashed or the address is not 64-byte
+    /// aligned / outside the protected region.
+    pub fn persist_write(&mut self, now: Cycle, addr: u64, data: &Line) -> Cycle {
+        assert!(!self.crashed, "persist on a crashed system");
+        let addr = LineAddr::new(addr).expect("persist address must be line-aligned");
+        assert!(
+            self.layout.is_data_addr(addr),
+            "address outside protected region"
+        );
+        self.persists += 1;
+        self.advance(now);
+        let mut t = now;
+
+        // Pre-WPQ security (baseline): the whole pipeline runs before the
+        // line may enter the persistence domain.
+        let payload_pre = match self.config.kind {
+            ControllerKind::PreWpqSecure => {
+                let masu = self.masu.as_mut().expect("baseline has a Ma-SU");
+                let (done, ciphertext) = masu.secure_write(t, addr, data, &mut self.nvm, false);
+                t = done;
+                self.advance(t);
+                Some(ciphertext)
+            }
+            _ => None,
+        };
+
+        loop {
+            // Dolos Post design: the Mi-SU may be busy with its one allowed
+            // deferred MAC; the write retries when it is.
+            if let (ControllerKind::Dolos(_), Some(misu)) = (self.config.kind, self.misu.as_mut()) {
+                if misu.is_busy(t) {
+                    t = misu.busy_until();
+                    self.advance(t);
+                    continue;
+                }
+            }
+
+            // Pick the slot (coalesce or allocate) so the Mi-SU can use the
+            // slot's pre-generated pad.
+            let slot = match self.wpq.coalesce_slot(addr) {
+                Some(slot) => Some(slot),
+                None => self.wpq.next_insert_slot(),
+            };
+            let Some(slot) = slot else {
+                // WPQ full: one retry event, then wait for the drain.
+                self.retries += 1;
+                let free_at = self.next_slot_free_at();
+                t = t.max(free_at);
+                self.advance(t);
+                continue;
+            };
+
+            let (done, payload, mac) = match self.config.kind {
+                ControllerKind::Dolos(_) => {
+                    let misu = self.misu.as_mut().expect("dolos has a Mi-SU");
+                    misu.protect(t, slot, addr, data)
+                }
+                ControllerKind::PreWpqSecure => (t, payload_pre.expect("secured above"), None),
+                _ => (t, *data, None),
+            };
+            let outcome = self.wpq.try_insert(addr, payload, mac);
+            match outcome {
+                InsertOutcome::Inserted { slot: s } => {
+                    debug_assert_eq!(s, slot);
+                    self.ready_times.push_back(done);
+                    self.persist_latency.record(done - now);
+                    self.persist_histogram.record(done - now);
+                    self.advance(done);
+                    return done;
+                }
+                InsertOutcome::Coalesced { slot: s } => {
+                    debug_assert_eq!(s, slot);
+                    self.persist_latency.record(done - now);
+                    self.persist_histogram.record(done - now);
+                    self.advance(done);
+                    return done;
+                }
+                InsertOutcome::Full => {
+                    // Raced with our own slot choice: treat as a retry.
+                    self.retries += 1;
+                    let free_at = self.next_slot_free_at();
+                    t = t.max(free_at);
+                    self.advance(t);
+                }
+            }
+        }
+    }
+
+    /// Reads one cacheline, serving WPQ hits from the tag array (§4.5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system is crashed, the address is unaligned or outside
+    /// the protected region, or (test invariant) integrity verification
+    /// fails — use [`SecureMemorySystem::try_read`] to observe attacks.
+    pub fn read(&mut self, now: Cycle, addr: u64) -> (Cycle, Line) {
+        self.try_read(now, addr)
+            .expect("integrity verification failed")
+    }
+
+    /// Reads one cacheline, returning integrity failures as errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SecurityError::DataMacMismatch`] when the stored data fails
+    /// its Bonsai MAC check.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system is crashed or the address is invalid.
+    pub fn try_read(&mut self, now: Cycle, addr: u64) -> Result<(Cycle, Line), SecurityError> {
+        assert!(!self.crashed, "read on a crashed system");
+        let addr = LineAddr::new(addr).expect("read address must be line-aligned");
+        assert!(
+            self.layout.is_data_addr(addr),
+            "address outside protected region"
+        );
+        self.advance(now);
+        if let Some(entry) = self
+            .config
+            .coalescing
+            .then(|| self.wpq.lookup(addr))
+            .flatten()
+        {
+            let payload = entry.payload;
+            let slot = entry.slot;
+            self.read_wpq_hits += 1;
+            let data = match self.config.kind {
+                ControllerKind::Dolos(_) => self
+                    .misu
+                    .as_ref()
+                    .expect("dolos has a Mi-SU")
+                    .decrypt(slot, &payload),
+                ControllerKind::PreWpqSecure => self
+                    .masu
+                    .as_mut()
+                    .expect("baseline has a Ma-SU")
+                    .decrypt_current(now, addr, &payload, &mut self.nvm),
+                _ => payload,
+            };
+            // Tag-array hit plus one XOR: a single cycle (§4.5).
+            return Ok((now + 1, data));
+        }
+        match self.masu.as_mut() {
+            Some(masu) => masu.read(now, addr, &mut self.nvm),
+            None => {
+                // Never-written lines short-circuit, mirroring the secure
+                // paths (which skip verification for lines with no MAC).
+                if self.nvm.peek(addr) == [0u8; 64] {
+                    return Ok((now + 1, [0u8; 64]));
+                }
+                let (done, data) = self.nvm.read_line(now, addr);
+                Ok((done, data))
+            }
+        }
+    }
+
+    /// Drains the WPQ completely and waits for the background engine — used
+    /// by tests and between workload phases. Returns the quiescent time.
+    pub fn quiesce(&mut self, now: Cycle) -> Cycle {
+        let mut t = now;
+        loop {
+            self.advance(t);
+            match self.inflight.back() {
+                Some(&(_, done)) => t = done,
+                None if self.wpq.is_empty() => return t,
+                None => unreachable!("advance starts work while entries remain"),
+            }
+        }
+    }
+
+    /// Power failure at `now`: ADR flushes the WPQ to NVM, volatile state is
+    /// lost, and the system refuses operations until [`Self::recover`].
+    ///
+    /// The ADR path does exactly what the active design affords: Dolos dumps
+    /// already-protected entries (plus Mi-SU MACs); the baseline writes its
+    /// already-secured ciphertext to the entries' home addresses; the
+    /// deferred/ideal models complete their writes on reserve power.
+    pub fn crash(&mut self, now: Cycle) {
+        assert!(!self.crashed, "already crashed");
+        self.advance(now);
+        let occupied = self.wpq.occupied_in_order();
+        match self.config.kind {
+            ControllerKind::Dolos(_) => {
+                let misu = self.misu.as_ref().expect("dolos has a Mi-SU");
+                misu.drain_to_nvm(&occupied, &mut self.nvm, &self.layout);
+            }
+            ControllerKind::PreWpqSecure => {
+                for entry in &occupied {
+                    self.nvm.poke(entry.addr, &entry.payload);
+                }
+            }
+            ControllerKind::IdealNonSecure => {
+                for entry in &occupied {
+                    self.nvm.poke(entry.addr, &entry.payload);
+                }
+            }
+            ControllerKind::DeferredSecure => {
+                // Figure 5-c must run the full pipeline on reserve power —
+                // the very thing the paper argues exceeds the ADR budget. We
+                // model the functional effect regardless.
+                for entry in &occupied {
+                    let masu = self.masu.as_mut().expect("deferred has a Ma-SU");
+                    masu.process_write(now, entry.addr, &entry.payload, &mut self.nvm);
+                }
+            }
+        }
+        if let Some(masu) = self.masu.as_mut() {
+            masu.crash();
+        }
+        self.wpq.clear_all();
+        self.ready_times.clear();
+        self.inflight.clear();
+        self.nvm.power_cycle();
+        self.crashed = true;
+    }
+
+    /// Boot-time recovery after a crash.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SecurityError`] if any integrity check fails (the threat
+    /// model's attacks being detected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system has not crashed.
+    pub fn recover(&mut self) -> Result<RecoveryReport, SecurityError> {
+        assert!(self.crashed, "recover requires a crash");
+        let mut report = RecoveryReport {
+            wpq_entries_replayed: 0,
+            masu: None,
+            estimated_misu_cycles: 0,
+            measured_masu_cycles: 0,
+        };
+        if let Some(masu) = self.masu.as_mut() {
+            let masu_report = masu.recover(&mut self.nvm)?;
+            report.measured_masu_cycles = masu_report.cycles;
+            report.masu = Some(masu_report);
+        }
+        if let Some(misu) = self.misu.as_mut() {
+            report.estimated_misu_cycles = misu.estimated_recovery_cycles();
+            let replay = misu.recover_from_nvm(&self.nvm, &self.layout)?;
+            report.wpq_entries_replayed = replay.len();
+            let masu = self.masu.as_mut().expect("dolos has a Ma-SU");
+            for (addr, plaintext) in replay {
+                masu.process_write(Cycle::ZERO, addr, &plaintext, &mut self.nvm);
+            }
+        }
+        self.crashed = false;
+        self.last_drain_done = Cycle::ZERO;
+        Ok(report)
+    }
+
+    /// Splits the masu/nvm borrow for the audit module.
+    pub(crate) fn audit_parts(&mut self) -> Result<crate::audit::AuditReport, SecurityError> {
+        match self.masu.as_mut() {
+            Some(masu) => masu.audit(&mut self.nvm),
+            None => Ok(crate::audit::AuditReport::default()),
+        }
+    }
+
+    /// Number of persist operations served.
+    pub fn persists(&self) -> u64 {
+        self.persists
+    }
+
+    /// Number of WPQ-insertion retry events (Table 2's metric).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Retry events per kilo write requests.
+    pub fn retries_per_kwr(&self) -> f64 {
+        if self.persists == 0 {
+            0.0
+        } else {
+            self.retries as f64 * 1000.0 / self.persists as f64
+        }
+    }
+
+    /// Snapshots every statistic of the system.
+    pub fn stats(&self) -> StatSet {
+        let mut s = self.wpq.stats();
+        s.merge(&self.nvm.stats());
+        if let Some(masu) = &self.masu {
+            s.merge(&masu.stats());
+        }
+        if let Some(misu) = &self.misu {
+            s.set("misu.busy_rejections", misu.busy_rejections() as f64);
+            s.set("misu.persistent_counter", misu.persistent_counter() as f64);
+        }
+        s.set("ctrl.persists", self.persists as f64);
+        s.set("ctrl.retries", self.retries as f64);
+        s.set("ctrl.retries_per_kwr", self.retries_per_kwr());
+        s.set("ctrl.read_wpq_hits", self.read_wpq_hits as f64);
+        s.set("ctrl.persist_latency_mean", self.persist_latency.mean());
+        s.set(
+            "ctrl.persist_latency_max",
+            self.persist_latency.max().unwrap_or(0) as f64,
+        );
+        s.set(
+            "ctrl.persist_latency_p50",
+            self.persist_histogram.percentile(0.5) as f64,
+        );
+        s.set(
+            "ctrl.persist_latency_p99",
+            self.persist_histogram.percentile(0.99) as f64,
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MiSuKind, UpdateScheme};
+
+    fn line(v: u8) -> Line {
+        [v; 64]
+    }
+
+    #[test]
+    fn ideal_persists_in_one_cycle() {
+        let mut sys = SecureMemorySystem::new(ControllerConfig::ideal());
+        let done = sys.persist_write(Cycle::ZERO, 0, &line(1));
+        assert_eq!(done.as_u64(), 0);
+        let (_, data) = sys.read(done, 0);
+        assert_eq!(data, line(1));
+    }
+
+    #[test]
+    fn baseline_pays_full_security_before_persist() {
+        let mut sys = SecureMemorySystem::new(ControllerConfig::baseline());
+        let done = sys.persist_write(Cycle::ZERO, 0, &line(1));
+        // Counter miss (600) + MT-node miss (650) + AES (40) + tree (1600).
+        assert_eq!(done.as_u64(), 2890);
+    }
+
+    #[test]
+    fn dolos_persists_at_misu_latency() {
+        for (kind, expected) in [
+            (MiSuKind::Full, 320),
+            (MiSuKind::Partial, 160),
+            (MiSuKind::Post, 0),
+        ] {
+            let mut sys = SecureMemorySystem::new(ControllerConfig::dolos(kind));
+            let done = sys.persist_write(Cycle::ZERO, 0, &line(1));
+            assert_eq!(done.as_u64(), expected, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn dolos_read_back_through_wpq_and_after_drain() {
+        let mut sys = SecureMemorySystem::new(ControllerConfig::dolos(MiSuKind::Partial));
+        let done = sys.persist_write(Cycle::ZERO, 0x40, &line(9));
+        // Immediately: served from the WPQ tag array.
+        let (t, data) = sys.read(done, 0x40);
+        assert_eq!(data, line(9));
+        assert_eq!(t - done, 1);
+        // After quiescing: served from NVM through the Ma-SU.
+        let quiet = sys.quiesce(done);
+        let (_, data) = sys.read(quiet, 0x40);
+        assert_eq!(data, line(9));
+        assert!(sys.stats().get_or_zero("ctrl.read_wpq_hits") >= 1.0);
+    }
+
+    #[test]
+    fn wpq_fills_and_retries_under_burst() {
+        let mut sys = SecureMemorySystem::new(ControllerConfig::dolos(MiSuKind::Post));
+        let mut t = Cycle::ZERO;
+        for i in 0..64u64 {
+            t = sys.persist_write(t, i * 64, &line(i as u8));
+        }
+        assert!(
+            sys.retries() > 0,
+            "a 10-entry WPQ must fill under a 64-line burst"
+        );
+        let quiet = sys.quiesce(t);
+        for i in 0..64u64 {
+            let (_, data) = sys.read(quiet, i * 64);
+            assert_eq!(data, line(i as u8));
+        }
+    }
+
+    #[test]
+    fn coalescing_merges_same_address_writes() {
+        let mut sys = SecureMemorySystem::new(ControllerConfig::dolos(MiSuKind::Partial));
+        let mut t = Cycle::ZERO;
+        // Backlog the drain pipeline with distinct addresses, then rewrite
+        // the most recent one: it is still live and must coalesce.
+        for i in 0..12u64 {
+            t = sys.persist_write(t, i * 64, &line(i as u8));
+        }
+        t = sys.persist_write(t, 11 * 64, &line(0xEE));
+        let s = sys.stats();
+        assert!(s.get_or_zero("wpq.coalesces") > 0.0, "stats: {s}");
+        let (_, data) = sys.read(t, 11 * 64);
+        assert_eq!(data, line(0xEE));
+        let quiet = sys.quiesce(t);
+        let (_, data) = sys.read(quiet, 11 * 64);
+        assert_eq!(data, line(0xEE));
+    }
+
+    #[test]
+    fn crash_recover_round_trips_all_kinds() {
+        let configs = [
+            ControllerConfig::ideal(),
+            ControllerConfig::baseline(),
+            ControllerConfig::deferred(),
+            ControllerConfig::dolos(MiSuKind::Full),
+            ControllerConfig::dolos(MiSuKind::Partial),
+            ControllerConfig::dolos(MiSuKind::Post),
+        ];
+        for config in configs {
+            let name = config.kind.name();
+            let mut sys = SecureMemorySystem::new(config);
+            let mut t = Cycle::ZERO;
+            for i in 0..32u64 {
+                t = sys.persist_write(t, i * 64, &line(i as u8 + 1));
+            }
+            // Crash immediately: many writes still sit in the WPQ.
+            sys.crash(t);
+            assert!(sys.is_crashed());
+            let report = sys.recover().unwrap_or_else(|e| panic!("{name}: {e}"));
+            if matches!(sys.config().kind, ControllerKind::Dolos(_)) {
+                assert!(report.wpq_entries_replayed > 0, "{name} should replay");
+            }
+            for i in 0..32u64 {
+                let (_, data) = sys.read(Cycle::ZERO, i * 64);
+                assert_eq!(data, line(i as u8 + 1), "{name} line {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn tampered_wpq_dump_is_detected_at_recovery() {
+        let mut sys = SecureMemorySystem::new(ControllerConfig::dolos(MiSuKind::Partial));
+        let t = sys.persist_write(Cycle::ZERO, 0, &line(5));
+        sys.crash(t);
+        let dump0 = sys.layout().wpq_dump_addr(0);
+        sys.nvm_mut().tamper(dump0, |l| l[0] ^= 0xFF);
+        assert!(sys.recover().is_err());
+    }
+
+    #[test]
+    fn tampered_nvm_data_is_detected_on_read() {
+        let mut sys = SecureMemorySystem::new(ControllerConfig::dolos(MiSuKind::Full));
+        let t = sys.persist_write(Cycle::ZERO, 0x40, &line(5));
+        let quiet = sys.quiesce(t);
+        sys.nvm_mut()
+            .tamper(LineAddr::new(0x40).unwrap(), |l| l[3] ^= 1);
+        assert!(matches!(
+            sys.try_read(quiet, 0x40),
+            Err(SecurityError::DataMacMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn post_design_counts_busy_rejections() {
+        let mut sys = SecureMemorySystem::new(ControllerConfig::dolos(MiSuKind::Post));
+        // Two back-to-back writes at the same instant: the second finds the
+        // deferred MAC in flight.
+        sys.persist_write(Cycle::ZERO, 0, &line(1));
+        sys.persist_write(Cycle::ZERO, 64, &line(2));
+        assert!(sys.stats().get_or_zero("misu.busy_rejections") >= 1.0);
+    }
+
+    #[test]
+    fn lazy_scheme_round_trips() {
+        let config = ControllerConfig::dolos(MiSuKind::Partial).with_scheme(UpdateScheme::LazyToc);
+        let mut sys = SecureMemorySystem::new(config);
+        let mut t = Cycle::ZERO;
+        for i in 0..16u64 {
+            t = sys.persist_write(t, i * 64, &line(i as u8));
+        }
+        sys.crash(t);
+        sys.recover().expect("lazy recovery");
+        for i in 0..16u64 {
+            let (_, data) = sys.read(Cycle::ZERO, i * 64);
+            assert_eq!(data, line(i as u8));
+        }
+    }
+
+    #[test]
+    fn deferred_drains_behind_the_wpq() {
+        let mut sys = SecureMemorySystem::new(ControllerConfig::deferred());
+        let done = sys.persist_write(Cycle::ZERO, 0, &line(1));
+        assert_eq!(done.as_u64(), 0, "no security in the critical path");
+        let quiet = sys.quiesce(done);
+        assert!(
+            quiet.as_u64() >= 1600,
+            "the pipeline still ran in background"
+        );
+        let (_, data) = sys.read(quiet, 0);
+        assert_eq!(data, line(1));
+    }
+
+    #[test]
+    fn retries_per_kwr_is_normalized() {
+        let mut sys = SecureMemorySystem::new(ControllerConfig::ideal());
+        assert_eq!(sys.retries_per_kwr(), 0.0);
+        sys.persist_write(Cycle::ZERO, 0, &line(1));
+        assert_eq!(sys.retries_per_kwr(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "crashed")]
+    fn persist_after_crash_panics() {
+        let mut sys = SecureMemorySystem::new(ControllerConfig::ideal());
+        sys.crash(Cycle::ZERO);
+        sys.persist_write(Cycle::ZERO, 0, &line(1));
+    }
+}

@@ -1,0 +1,49 @@
+//! The Dolos secure persistent-memory controller (the paper's contribution).
+//!
+//! Dolos splits memory security in two so persist operations complete at WPQ
+//! insertion instead of after a full crypto pipeline:
+//!
+//! * [`misu`] — the **Minor Security Unit**: pre-generated CTR pads and 0–2
+//!   MACs protect only the WPQ so its contents can be dumped verbatim under
+//!   the standard ADR energy budget. Three design options ([`MiSuKind`])
+//!   trade critical-path MACs against usable WPQ entries.
+//! * [`masu`] — the **Major Security Unit**: the conventional secure-NVM
+//!   pipeline (counter-mode AES, Bonsai MACs, integrity tree, Anubis shadow
+//!   tracking, Osiris counter recovery), run after eviction from the WPQ.
+//! * [`controller`] — [`SecureMemorySystem`], which composes the two units
+//!   with the WPQ and NVM into any of the Figure 5 architectures, including
+//!   the Pre-WPQ-Secure baseline the paper compares against.
+//!
+//! # Examples
+//!
+//! ```
+//! use dolos_core::{ControllerConfig, MiSuKind, SecureMemorySystem};
+//! use dolos_sim::Cycle;
+//!
+//! // Baseline: ~2.9k cycles before the first persist completes.
+//! let mut baseline = SecureMemorySystem::new(ControllerConfig::baseline());
+//! let baseline_done = baseline.persist_write(Cycle::ZERO, 0, &[1; 64]);
+//!
+//! // Dolos Partial: one Mi-SU MAC.
+//! let mut dolos = SecureMemorySystem::new(ControllerConfig::dolos(MiSuKind::Partial));
+//! let dolos_done = dolos.persist_write(Cycle::ZERO, 0, &[1; 64]);
+//!
+//! assert!(dolos_done.as_u64() * 10 < baseline_done.as_u64());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod config;
+pub mod controller;
+pub mod error;
+pub mod masu;
+pub mod misu;
+
+pub use audit::AuditReport;
+pub use config::{ControllerConfig, ControllerKind, MiSuKind, UpdateScheme};
+pub use controller::{RecoveryReport, SecureMemorySystem};
+pub use error::SecurityError;
+pub use masu::MajorSecurityUnit;
+pub use misu::MinorSecurityUnit;

@@ -1,0 +1,91 @@
+//! Cycle-latency model of the cryptographic engines (Table 1 of the paper).
+//!
+//! Keeping the latency constants separate from the functional crypto lets the
+//! sensitivity benches sweep them without touching the data path.
+
+/// Latency of one AES operation (pad generation), in cycles.
+pub const AES_LATENCY: u64 = 40;
+
+/// Latency of one MAC computation, in cycles.
+pub const MAC_LATENCY: u64 = 160;
+
+/// Number of serial MAC computations for an eager Bonsai-Merkle-Tree update
+/// in the Ma-SU ("160×10 cycles for eager update", Table 1).
+pub const EAGER_UPDATE_MACS: u64 = 10;
+
+/// Number of serial MAC computations for a lazy (ToC/Phoenix) update in the
+/// Ma-SU ("160×4 cycles for lazy update", Table 1).
+pub const LAZY_UPDATE_MACS: u64 = 4;
+
+/// The crypto-latency configuration used by a controller instance.
+///
+/// Defaults reproduce Table 1; benches construct modified copies for
+/// sensitivity sweeps.
+///
+/// # Examples
+///
+/// ```
+/// use dolos_crypto::latency::CryptoLatency;
+///
+/// let lat = CryptoLatency::default();
+/// assert_eq!(lat.eager_update_cycles(), 1600);
+/// assert_eq!(lat.lazy_update_cycles(), 640);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CryptoLatency {
+    /// Cycles for one AES pad generation.
+    pub aes: u64,
+    /// Cycles for one MAC computation.
+    pub mac: u64,
+    /// Serial MACs per eager integrity-tree update.
+    pub eager_macs: u64,
+    /// Serial MACs per lazy integrity-tree update.
+    pub lazy_macs: u64,
+}
+
+impl Default for CryptoLatency {
+    fn default() -> Self {
+        Self {
+            aes: AES_LATENCY,
+            mac: MAC_LATENCY,
+            eager_macs: EAGER_UPDATE_MACS,
+            lazy_macs: LAZY_UPDATE_MACS,
+        }
+    }
+}
+
+impl CryptoLatency {
+    /// Total cycles for an eager integrity-tree update.
+    pub fn eager_update_cycles(&self) -> u64 {
+        self.mac * self.eager_macs
+    }
+
+    /// Total cycles for a lazy integrity-tree update.
+    pub fn lazy_update_cycles(&self) -> u64 {
+        self.mac * self.lazy_macs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_1() {
+        let l = CryptoLatency::default();
+        assert_eq!(l.aes, 40);
+        assert_eq!(l.mac, 160);
+        assert_eq!(l.eager_update_cycles(), 1600);
+        assert_eq!(l.lazy_update_cycles(), 640);
+    }
+
+    #[test]
+    fn sweeps_scale_linearly() {
+        let l = CryptoLatency {
+            mac: 80,
+            ..Default::default()
+        };
+        assert_eq!(l.eager_update_cycles(), 800);
+        assert_eq!(l.lazy_update_cycles(), 320);
+    }
+}

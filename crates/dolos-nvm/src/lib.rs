@@ -1,0 +1,43 @@
+//! Non-volatile memory substrate: device model, byte store, and the Write
+//! Pending Queue.
+//!
+//! This crate supplies the pieces of the memory system below the security
+//! units:
+//!
+//! * [`addr`] — strongly-typed cacheline addresses;
+//! * [`device`] — the PCM device model from Table 1 (150 ns reads, 500 ns
+//!   writes at 4 GHz) over a sparse, functionally-real byte store, with a
+//!   tampering API used by the attack-injection tests;
+//! * [`wpq`] — the ADR-protected Write Pending Queue: a circular buffer with
+//!   per-entry cleared bits, insertion/fetch indices, and the volatile tag
+//!   array that enables write coalescing and read hits (paper §4.5).
+//!
+//! # Examples
+//!
+//! ```
+//! use dolos_nvm::{addr::LineAddr, device::NvmDevice};
+//! use dolos_sim::Cycle;
+//!
+//! let mut nvm = NvmDevice::new();
+//! let line = [0x5Au8; 64];
+//! let done = nvm.write_line(Cycle::ZERO, LineAddr::new(0x100).unwrap(), &line);
+//! let (_, data) = nvm.read_line(done, LineAddr::new(0x100).unwrap());
+//! assert_eq!(data, line);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod device;
+pub mod wpq;
+
+pub use addr::LineAddr;
+pub use device::NvmDevice;
+pub use wpq::{InsertOutcome, WpqEntry, WriteQueue};
+
+/// Bytes per cacheline throughout the model.
+pub const LINE_SIZE: usize = 64;
+
+/// A 64-byte cacheline payload.
+pub type Line = [u8; LINE_SIZE];

@@ -1,0 +1,40 @@
+//! Secure-memory metadata machinery: the substrate under both the baseline
+//! (Anubis/AGIT) controller and Dolos' Major Security Unit.
+//!
+//! Components:
+//!
+//! * [`cache`] — the set-associative write-back caches from Table 1
+//!   (counter cache and Merkle-tree metadata cache);
+//! * [`counters`] — split encryption counters (64-bit major + 64×7-bit
+//!   minors per 4 KiB page) with overflow/page-re-encryption semantics;
+//! * [`layout`] — the NVM address map for counters, data MACs, the Anubis
+//!   shadow table, and the ADR dump region;
+//! * [`bmt`] — the 8-ary Bonsai Merkle Tree with eager (AGIT) updates and
+//!   recovery-time root recomputation;
+//! * [`toc`] — the lazily-updated Tree of Counters with Phoenix-style
+//!   shadow protection;
+//! * [`shadow`] — the Anubis shadow table that bounds recovery work;
+//! * [`ecc`] — Osiris ECC-probe counter recovery.
+//!
+//! All components are *functional*: real MACs, real counters, real bytes.
+//! Timing is charged separately by the controller layer (`dolos-core`) using
+//! [`dolos_crypto::latency`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bmt;
+pub mod cache;
+pub mod counters;
+pub mod ecc;
+pub mod layout;
+pub mod shadow;
+pub mod toc;
+
+pub use bmt::{data_mac, BonsaiMerkleTree};
+pub use cache::SetAssocCache;
+pub use counters::{CounterBlock, IncrementResult, LineCounter};
+pub use ecc::{ecc64, probe_counter};
+pub use layout::MetadataLayout;
+pub use shadow::ShadowTable;
+pub use toc::TreeOfCounters;

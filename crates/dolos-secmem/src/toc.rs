@@ -1,0 +1,414 @@
+//! Tree of Counters (ToC) with lazy updates, protected à la Phoenix (§4.4).
+//!
+//! SGX-style integrity trees store *version counters* in every node: node
+//! `N` holds one counter per child plus a MAC computed over its counters and
+//! its own counter in the parent. Eagerly persisting every level on every
+//! write would defeat the scheme's parallelism, so persistent-memory ToCs
+//! (Phoenix) update nodes **lazily** in the metadata cache and protect the
+//! cached-but-not-propagated state with a small, eagerly-updated shadow
+//! Merkle tree over a write-through shadow region in NVM.
+//!
+//! This module is a functional model of exactly that arrangement:
+//!
+//! * the main tree (NVM) is only updated on eviction;
+//! * updated nodes live in a volatile cache, mirrored write-through into a
+//!   shadow region (NVM) whose MAC root sits in a persistent register;
+//! * a crash loses the cache; recovery reloads the shadow region, verifies
+//!   it against the shadow root, and merges it over the stale main tree.
+
+use std::collections::{BTreeMap, HashMap};
+
+use dolos_crypto::mac::{Mac64, MacEngine};
+use dolos_nvm::Line;
+
+use crate::bmt::ARITY;
+
+/// One ToC node: per-child version counters plus the node MAC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TocNode {
+    /// Version counter per child.
+    pub counters: [u64; ARITY as usize],
+    /// MAC over this node's counters and its counter in the parent.
+    pub mac: Mac64,
+}
+
+impl Default for TocNode {
+    fn default() -> Self {
+        Self {
+            counters: [0; ARITY as usize],
+            mac: [0; 8],
+        }
+    }
+}
+
+fn node_key(level: usize, index: u64) -> (usize, u64) {
+    (level, index)
+}
+
+/// A lazily-updated Tree of Counters with Phoenix-style shadow protection.
+///
+/// # Examples
+///
+/// ```
+/// use dolos_crypto::mac::MacEngine;
+/// use dolos_secmem::toc::TreeOfCounters;
+///
+/// let mut toc = TreeOfCounters::new(64, MacEngine::new([2; 16]));
+/// toc.update_leaf(3, &[1; 64]);
+/// assert!(toc.verify_leaf(3, &[1; 64]));
+///
+/// // Crash before eviction: cached state is lost but recoverable.
+/// toc.crash();
+/// assert!(toc.recover().is_ok());
+/// assert!(toc.verify_leaf(3, &[1; 64]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TreeOfCounters {
+    leaves: u64,
+    height: usize,
+    engine: MacEngine,
+    /// Persistent (NVM) tree nodes; stale for lazily-updated paths.
+    main: HashMap<(usize, u64), TocNode>,
+    /// Persistent (NVM) leaf MACs, keyed by leaf index.
+    main_leaf_macs: HashMap<u64, Mac64>,
+    /// Volatile cache of updated nodes/leaf MACs (lost on crash).
+    cache: HashMap<(usize, u64), TocNode>,
+    cache_leaf_macs: HashMap<u64, Mac64>,
+    /// Write-through shadow region (NVM) mirroring the volatile cache.
+    shadow: BTreeMap<(usize, u64), TocNode>,
+    shadow_leaf_macs: BTreeMap<u64, Mac64>,
+    /// Persistent register: eagerly-updated MAC over the shadow region.
+    shadow_root: Mac64,
+    /// Persistent register: the root node's counter epoch.
+    root_counter: u64,
+    updates: u64,
+}
+
+/// Error returned when ToC recovery detects tampering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TocRecoveryError;
+
+impl core::fmt::Display for TocRecoveryError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "shadow region failed integrity verification")
+    }
+}
+
+impl std::error::Error for TocRecoveryError {}
+
+impl TreeOfCounters {
+    /// Creates a ToC over `leaves` counter blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaves` is zero.
+    pub fn new(leaves: u64, engine: MacEngine) -> Self {
+        assert!(leaves > 0, "tree must cover at least one leaf");
+        let mut height = 0usize;
+        let mut width = leaves;
+        while width > 1 {
+            width = width.div_ceil(ARITY);
+            height += 1;
+        }
+        let height = height.max(1);
+        let mut toc = Self {
+            leaves,
+            height,
+            engine,
+            main: HashMap::new(),
+            main_leaf_macs: HashMap::new(),
+            cache: HashMap::new(),
+            cache_leaf_macs: HashMap::new(),
+            shadow: BTreeMap::new(),
+            shadow_leaf_macs: BTreeMap::new(),
+            shadow_root: [0; 8],
+            root_counter: 0,
+            updates: 0,
+        };
+        toc.shadow_root = toc.compute_shadow_root();
+        toc
+    }
+
+    /// Number of covered leaves.
+    pub fn leaves(&self) -> u64 {
+        self.leaves
+    }
+
+    /// Tree height (levels of interior nodes).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Leaf updates performed.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Number of dirty (cached, unevicted) nodes.
+    pub fn dirty_nodes(&self) -> usize {
+        self.cache.len()
+    }
+
+    fn node(&self, level: usize, index: u64) -> TocNode {
+        let key = node_key(level, index);
+        self.cache
+            .get(&key)
+            .or_else(|| self.main.get(&key))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    fn leaf_mac(&self, index: u64) -> Mac64 {
+        self.cache_leaf_macs
+            .get(&index)
+            .or_else(|| self.main_leaf_macs.get(&index))
+            .copied()
+            .unwrap_or([0; 8])
+    }
+
+    fn node_mac(&self, level: usize, index: u64, node: &TocNode) -> Mac64 {
+        let parent_counter = if level == self.height {
+            self.root_counter
+        } else {
+            self.node(level + 1, index / ARITY).counters[(index % ARITY) as usize]
+        };
+        let mut bytes = Vec::with_capacity(8 * (ARITY as usize + 3));
+        for c in &node.counters {
+            bytes.extend_from_slice(&c.to_le_bytes());
+        }
+        bytes.extend_from_slice(&parent_counter.to_le_bytes());
+        bytes.extend_from_slice(&(level as u64).to_le_bytes());
+        bytes.extend_from_slice(&index.to_le_bytes());
+        self.engine.tag(&bytes)
+    }
+
+    fn leaf_mac_value(&self, index: u64, leaf_line: &Line) -> Mac64 {
+        let version = self.node(1, index / ARITY).counters[(index % ARITY) as usize];
+        self.engine
+            .tag_parts(&[&index.to_le_bytes(), &version.to_le_bytes(), leaf_line])
+    }
+
+    fn compute_shadow_root(&self) -> Mac64 {
+        let mut bytes = Vec::new();
+        for (&(level, index), node) in &self.shadow {
+            bytes.extend_from_slice(&(level as u64).to_le_bytes());
+            bytes.extend_from_slice(&index.to_le_bytes());
+            for c in &node.counters {
+                bytes.extend_from_slice(&c.to_le_bytes());
+            }
+            bytes.extend_from_slice(&node.mac);
+        }
+        for (&index, mac) in &self.shadow_leaf_macs {
+            bytes.extend_from_slice(&index.to_le_bytes());
+            bytes.extend_from_slice(mac);
+        }
+        bytes.extend_from_slice(&self.root_counter.to_le_bytes());
+        self.engine.tag(&bytes)
+    }
+
+    /// Updates leaf `index` to `leaf_line`: increments version counters up
+    /// the path (in cache only), recomputes affected MACs, and eagerly
+    /// refreshes the shadow region + shadow root.
+    ///
+    /// With parallel MAC engines all levels update concurrently, which is
+    /// why the Ma-SU charges only [`dolos_crypto::latency::LAZY_UPDATE_MACS`]
+    /// serial MACs in this mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn update_leaf(&mut self, index: u64, leaf_line: &Line) {
+        assert!(index < self.leaves, "leaf index out of range");
+        self.updates += 1;
+        // Bump version counters bottom-up in the cached copies.
+        let mut idx = index;
+        for level in 1..=self.height {
+            let parent = idx / ARITY;
+            let child = (idx % ARITY) as usize;
+            let mut node = self.node(level, parent);
+            node.counters[child] += 1;
+            self.cache.insert(node_key(level, parent), node);
+            idx = parent;
+        }
+        self.root_counter += 1;
+        // Recompute MACs top-down so each node MACs against its parent's new
+        // counter.
+        let mut path = Vec::with_capacity(self.height);
+        let mut idx = index;
+        for level in 1..=self.height {
+            idx /= ARITY;
+            path.push((level, idx));
+        }
+        for &(level, node_idx) in path.iter().rev() {
+            let mut node = self.node(level, node_idx);
+            node.mac = self.node_mac(level, node_idx, &node);
+            self.cache.insert(node_key(level, node_idx), node);
+        }
+        let mac = self.leaf_mac_value(index, leaf_line);
+        self.cache_leaf_macs.insert(index, mac);
+        // Write-through to the shadow region; eagerly update its root.
+        for &(level, node_idx) in &path {
+            self.shadow
+                .insert(node_key(level, node_idx), self.node(level, node_idx));
+        }
+        self.shadow_leaf_macs.insert(index, mac);
+        self.shadow_root = self.compute_shadow_root();
+    }
+
+    /// Verifies leaf content against the (cached or persisted) tree.
+    pub fn verify_leaf(&self, index: u64, leaf_line: &Line) -> bool {
+        if index >= self.leaves {
+            return false;
+        }
+        if self.leaf_mac_value(index, leaf_line) != self.leaf_mac(index) {
+            return false;
+        }
+        let mut idx = index;
+        for level in 1..=self.height {
+            idx /= ARITY;
+            let node = self.node(level, idx);
+            if self.node_mac(level, idx, &node) != node.mac {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Evicts every cached node into the main (NVM) tree, emptying the
+    /// shadow region — what a metadata-cache flush does.
+    pub fn evict_all(&mut self) {
+        for (key, node) in self.cache.drain() {
+            self.main.insert(key, node);
+        }
+        for (idx, mac) in self.cache_leaf_macs.drain() {
+            self.main_leaf_macs.insert(idx, mac);
+        }
+        self.shadow.clear();
+        self.shadow_leaf_macs.clear();
+        self.shadow_root = self.compute_shadow_root();
+    }
+
+    /// Models a crash: the volatile cache is lost; main tree, shadow region,
+    /// and persistent registers survive.
+    pub fn crash(&mut self) {
+        self.cache.clear();
+        self.cache_leaf_macs.clear();
+    }
+
+    /// Recovers the cached state from the shadow region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TocRecoveryError`] if the shadow region does not match the
+    /// persistent shadow-root register (tampering).
+    pub fn recover(&mut self) -> Result<(), TocRecoveryError> {
+        if self.compute_shadow_root() != self.shadow_root {
+            return Err(TocRecoveryError);
+        }
+        for (&key, node) in &self.shadow {
+            self.cache.insert(key, *node);
+        }
+        for (&idx, mac) in &self.shadow_leaf_macs {
+            self.cache_leaf_macs.insert(idx, *mac);
+        }
+        Ok(())
+    }
+
+    /// Tampers with a shadow-region node (attack-injection tests).
+    pub fn tamper_shadow(&mut self, level: usize, index: u64) {
+        if let Some(node) = self.shadow.get_mut(&node_key(level, index)) {
+            node.counters[0] ^= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toc(leaves: u64) -> TreeOfCounters {
+        TreeOfCounters::new(leaves, MacEngine::new([4; 16]))
+    }
+
+    #[test]
+    fn update_then_verify() {
+        let mut t = toc(64);
+        t.update_leaf(5, &[1; 64]);
+        assert!(t.verify_leaf(5, &[1; 64]));
+        assert!(!t.verify_leaf(5, &[2; 64]));
+    }
+
+    #[test]
+    fn replayed_leaf_fails() {
+        let mut t = toc(64);
+        t.update_leaf(5, &[1; 64]);
+        t.update_leaf(5, &[2; 64]);
+        assert!(!t.verify_leaf(5, &[1; 64]));
+    }
+
+    #[test]
+    fn updates_stay_in_cache_until_eviction() {
+        let mut t = toc(64);
+        t.update_leaf(5, &[1; 64]);
+        assert!(t.dirty_nodes() > 0);
+        t.evict_all();
+        assert_eq!(t.dirty_nodes(), 0);
+        assert!(t.verify_leaf(5, &[1; 64]));
+    }
+
+    #[test]
+    fn crash_without_recovery_loses_lazy_updates() {
+        let mut t = toc(64);
+        t.update_leaf(5, &[1; 64]);
+        t.crash();
+        // Stale main tree: the new leaf content no longer verifies.
+        assert!(!t.verify_leaf(5, &[1; 64]));
+    }
+
+    #[test]
+    fn recovery_restores_cached_state() {
+        let mut t = toc(64);
+        t.update_leaf(5, &[1; 64]);
+        t.update_leaf(9, &[2; 64]);
+        t.crash();
+        t.recover().expect("clean recovery");
+        assert!(t.verify_leaf(5, &[1; 64]));
+        assert!(t.verify_leaf(9, &[2; 64]));
+    }
+
+    #[test]
+    fn tampered_shadow_is_detected() {
+        let mut t = toc(64);
+        t.update_leaf(5, &[1; 64]);
+        t.crash();
+        t.tamper_shadow(1, 0);
+        assert_eq!(t.recover(), Err(TocRecoveryError));
+    }
+
+    #[test]
+    fn eviction_then_crash_needs_no_shadow() {
+        let mut t = toc(64);
+        t.update_leaf(5, &[1; 64]);
+        t.evict_all();
+        t.crash();
+        t.recover().expect("empty shadow verifies");
+        assert!(t.verify_leaf(5, &[1; 64]));
+    }
+
+    #[test]
+    fn independent_leaves_do_not_interfere() {
+        let mut t = toc(512);
+        t.update_leaf(0, &[1; 64]);
+        t.update_leaf(511, &[2; 64]);
+        assert!(t.verify_leaf(0, &[1; 64]));
+        assert!(t.verify_leaf(511, &[2; 64]));
+        assert!(t.verify_leaf(100, &[0; 64]) || !t.verify_leaf(100, &[1; 64]));
+    }
+
+    #[test]
+    fn height_is_log8() {
+        assert_eq!(toc(8).height(), 1);
+        assert_eq!(toc(9).height(), 2);
+        assert_eq!(toc(64).height(), 2);
+    }
+}

@@ -1,0 +1,196 @@
+//! Next-free-time resource models.
+//!
+//! The memory system is simulated without a global event queue: each
+//! contended unit remembers when it next becomes free and requests "catch up"
+//! lazily. [`Server`] models a serial unit (one operation at a time) and
+//! [`Pipeline`] models a unit with an issue interval shorter than its latency
+//! (e.g. a pipelined MAC engine).
+
+use crate::Cycle;
+
+/// A serial resource: at most one operation in flight at a time.
+///
+/// `acquire` books the resource for `busy` cycles starting no earlier than
+/// `now` and no earlier than the completion of the previously booked
+/// operation, returning the completion time.
+///
+/// # Examples
+///
+/// ```
+/// use dolos_sim::{Cycle, resource::Server};
+///
+/// let mut engine = Server::new();
+/// assert_eq!(engine.acquire(Cycle::new(0), 160), Cycle::new(160));
+/// // Arrives while busy: waits.
+/// assert_eq!(engine.acquire(Cycle::new(10), 160), Cycle::new(320));
+/// // Arrives after an idle gap: starts immediately.
+/// assert_eq!(engine.acquire(Cycle::new(1000), 160), Cycle::new(1160));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Server {
+    free_at: Cycle,
+    busy_cycles: u64,
+    operations: u64,
+}
+
+impl Server {
+    /// Creates an idle server, free at cycle zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Books the server for `busy` cycles starting at `max(now, free_at)`.
+    ///
+    /// Returns the cycle at which the operation completes.
+    pub fn acquire(&mut self, now: Cycle, busy: u64) -> Cycle {
+        let start = now.max(self.free_at);
+        self.free_at = start + busy;
+        self.busy_cycles += busy;
+        self.operations += 1;
+        self.free_at
+    }
+
+    /// The cycle at which the server next becomes free.
+    pub fn free_at(&self) -> Cycle {
+        self.free_at
+    }
+
+    /// Whether the server is idle at `now`.
+    pub fn is_idle_at(&self, now: Cycle) -> bool {
+        self.free_at <= now
+    }
+
+    /// Total cycles the server has been booked for.
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+
+    /// Number of operations served.
+    pub fn operations(&self) -> u64 {
+        self.operations
+    }
+
+    /// Resets the server to idle at cycle zero, clearing statistics.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// A pipelined resource: new operations may issue every `initiation` cycles,
+/// each completing `latency` cycles after issue.
+///
+/// # Examples
+///
+/// ```
+/// use dolos_sim::{Cycle, resource::Pipeline};
+///
+/// // A MAC engine with 160-cycle latency that accepts one block per 40 cycles.
+/// let mut mac = Pipeline::new(40, 160);
+/// assert_eq!(mac.acquire(Cycle::new(0)), Cycle::new(160));
+/// assert_eq!(mac.acquire(Cycle::new(0)), Cycle::new(200)); // issued at 40
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    initiation: u64,
+    latency: u64,
+    next_issue: Cycle,
+    operations: u64,
+}
+
+impl Pipeline {
+    /// Creates a pipeline with the given initiation interval and latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initiation` is zero.
+    pub fn new(initiation: u64, latency: u64) -> Self {
+        assert!(initiation > 0, "initiation interval must be non-zero");
+        Self {
+            initiation,
+            latency,
+            next_issue: Cycle::ZERO,
+            operations: 0,
+        }
+    }
+
+    /// Issues one operation at `max(now, next_issue)`; returns its completion.
+    pub fn acquire(&mut self, now: Cycle) -> Cycle {
+        let issue = now.max(self.next_issue);
+        self.next_issue = issue + self.initiation;
+        self.operations += 1;
+        issue + self.latency
+    }
+
+    /// Operation latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    /// Number of operations issued.
+    pub fn operations(&self) -> u64 {
+        self.operations
+    }
+
+    /// Resets the pipeline to idle, clearing statistics.
+    pub fn reset(&mut self) {
+        self.next_issue = Cycle::ZERO;
+        self.operations = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_serializes_overlapping_requests() {
+        let mut s = Server::new();
+        let a = s.acquire(Cycle::new(0), 100);
+        let b = s.acquire(Cycle::new(50), 100);
+        assert_eq!(a, Cycle::new(100));
+        assert_eq!(b, Cycle::new(200));
+        assert_eq!(s.operations(), 2);
+        assert_eq!(s.busy_cycles(), 200);
+    }
+
+    #[test]
+    fn server_idles_between_requests() {
+        let mut s = Server::new();
+        s.acquire(Cycle::new(0), 10);
+        let done = s.acquire(Cycle::new(500), 10);
+        assert_eq!(done, Cycle::new(510));
+        assert!(s.is_idle_at(Cycle::new(511)));
+        assert!(!s.is_idle_at(Cycle::new(505)));
+    }
+
+    #[test]
+    fn server_reset_clears_state() {
+        let mut s = Server::new();
+        s.acquire(Cycle::new(0), 10);
+        s.reset();
+        assert_eq!(s.free_at(), Cycle::ZERO);
+        assert_eq!(s.operations(), 0);
+    }
+
+    #[test]
+    fn pipeline_overlaps_latency() {
+        let mut p = Pipeline::new(40, 160);
+        assert_eq!(p.acquire(Cycle::new(0)), Cycle::new(160));
+        assert_eq!(p.acquire(Cycle::new(0)), Cycle::new(200));
+        assert_eq!(p.acquire(Cycle::new(0)), Cycle::new(240));
+        assert_eq!(p.operations(), 3);
+    }
+
+    #[test]
+    fn pipeline_idle_restart() {
+        let mut p = Pipeline::new(40, 160);
+        p.acquire(Cycle::new(0));
+        assert_eq!(p.acquire(Cycle::new(1000)), Cycle::new(1160));
+    }
+
+    #[test]
+    #[should_panic(expected = "initiation")]
+    fn pipeline_rejects_zero_initiation() {
+        let _ = Pipeline::new(0, 10);
+    }
+}

@@ -1,0 +1,224 @@
+//! Deterministic random number generation for workloads.
+//!
+//! Simulation runs must be exactly reproducible across hosts, so the
+//! workloads use this self-contained xorshift64* generator instead of a
+//! seeded OS RNG. [`Zipfian`] implements the YCSB-style skewed key
+//! distribution used by the N-Store workload.
+
+/// A deterministic xorshift64* pseudo-random generator.
+///
+/// Not cryptographically secure — used only to drive workload key choices and
+/// crash-injection points.
+///
+/// # Examples
+///
+/// ```
+/// use dolos_sim::rng::XorShift;
+///
+/// let mut a = XorShift::new(42);
+/// let mut b = XorShift::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorShift {
+    state: u64,
+}
+
+impl XorShift {
+    /// Creates a generator from a seed. A zero seed is remapped to a fixed
+    /// non-zero constant because xorshift has a zero fixed point.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
+    }
+
+    /// Returns the next 64-bit value in the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Returns a value uniformly distributed in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be non-zero");
+        // Multiply-shift bounded sampling; bias is negligible for our bounds.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Returns a uniform f64 in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+impl Default for XorShift {
+    fn default() -> Self {
+        Self::new(0x5EED)
+    }
+}
+
+/// Zipfian distribution sampler over `[0, n)` (YCSB's request distribution).
+///
+/// Uses the standard rejection-free inverse-CDF approximation from Gray et
+/// al. ("Quickly generating billion-record synthetic databases"), the same
+/// algorithm YCSB itself uses.
+///
+/// # Examples
+///
+/// ```
+/// use dolos_sim::rng::{XorShift, Zipfian};
+///
+/// let mut rng = XorShift::new(7);
+/// let zipf = Zipfian::new(1000, 0.99);
+/// let k = zipf.sample(&mut rng);
+/// assert!(k < 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipfian {
+    /// Creates a sampler over `[0, n)` with skew `theta` (YCSB default 0.99).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `theta` is not in `(0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "population must be non-zero");
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0, 1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Self {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Direct summation is O(n) but runs once per sampler; workload
+        // populations are bounded (<= a few hundred thousand keys).
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Draws one sample in `[0, n)`; small values are the hot keys.
+    pub fn sample(&self, rng: &mut XorShift) -> u64 {
+        let u = rng.next_f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let k = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        k.min(self.n - 1)
+    }
+
+    /// The population size `n`.
+    pub fn population(&self) -> u64 {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xorshift_is_deterministic() {
+        let mut a = XorShift::new(123);
+        let mut b = XorShift::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut r = XorShift::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn bounded_sampling_stays_in_range() {
+        let mut r = XorShift::new(9);
+        for _ in 0..10_000 {
+            assert!(r.next_below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = XorShift::new(11);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = XorShift::new(13);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn zipfian_is_skewed_toward_small_keys() {
+        let mut r = XorShift::new(21);
+        let z = Zipfian::new(1000, 0.99);
+        let mut hot = 0u32;
+        const DRAWS: u32 = 20_000;
+        for _ in 0..DRAWS {
+            if z.sample(&mut r) < 10 {
+                hot += 1;
+            }
+        }
+        // With theta = 0.99 the top-10 keys of 1000 receive far more than the
+        // uniform 1% of requests; empirically ~40%+.
+        assert!(hot > DRAWS / 5, "hot share too small: {hot}/{DRAWS}");
+    }
+
+    #[test]
+    fn zipfian_samples_in_range() {
+        let mut r = XorShift::new(31);
+        let z = Zipfian::new(50, 0.5);
+        for _ in 0..5000 {
+            assert!(z.sample(&mut r) < 50);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "population")]
+    fn zipfian_rejects_empty_population() {
+        let _ = Zipfian::new(0, 0.99);
+    }
+}

@@ -1,0 +1,66 @@
+//! Demonstrates the threat model of §4.1: spoofing, relocation, and replay
+//! attacks against NVM contents — including the ADR-dumped WPQ — are all
+//! detected.
+//!
+//! ```text
+//! cargo run --release --example attack_detection
+//! ```
+
+use dolos::core::{ControllerConfig, MiSuKind, SecureMemorySystem};
+use dolos::nvm::LineAddr;
+use dolos::sim::Cycle;
+
+fn fresh_system_with_data() -> (SecureMemorySystem, Cycle) {
+    let mut sys = SecureMemorySystem::new(ControllerConfig::dolos(MiSuKind::Partial));
+    let mut t = Cycle::ZERO;
+    for i in 0..4u64 {
+        t = sys.persist_write(t, i * 64, &[0x10 + i as u8; 64]);
+    }
+    let quiet = sys.quiesce(t);
+    (sys, quiet)
+}
+
+fn main() {
+    // 1. Spoofing: overwrite a ciphertext line with arbitrary bytes.
+    let (mut sys, t) = fresh_system_with_data();
+    sys.nvm_mut()
+        .tamper(LineAddr::new(0).unwrap(), |line| line[17] ^= 0x80);
+    let err = sys.try_read(t, 0).expect_err("spoofing must be detected");
+    println!("spoofing attack    -> detected: {err}");
+
+    // 2. Relocation: swap two ciphertext lines (and their MAC slots).
+    let (mut sys, t) = fresh_system_with_data();
+    let a = LineAddr::new(0).unwrap();
+    let b = LineAddr::new(64).unwrap();
+    let la = sys.nvm().peek(a);
+    let lb = sys.nvm().peek(b);
+    sys.nvm_mut().poke(a, &lb);
+    sys.nvm_mut().poke(b, &la);
+    let err = sys.try_read(t, 0).expect_err("relocation must be detected");
+    println!("relocation attack  -> detected: {err}");
+
+    // 3. Replay: roll a line back to an older (validly encrypted) version.
+    let (mut sys, t) = fresh_system_with_data();
+    let stale = sys.nvm().snapshot_line(LineAddr::new(0).unwrap());
+    let t2 = sys.persist_write(t, 0, &[0xEE; 64]);
+    let quiet = sys.quiesce(t2);
+    sys.nvm_mut()
+        .replay_snapshot(LineAddr::new(0).unwrap(), &stale);
+    let err = sys.try_read(quiet, 0).expect_err("replay must be detected");
+    println!("replay attack      -> detected: {err}");
+
+    // 4. Tampering with the ADR-dumped WPQ across a crash.
+    let mut sys = SecureMemorySystem::new(ControllerConfig::dolos(MiSuKind::Partial));
+    let t = sys.persist_write(Cycle::ZERO, 0x100, &[0x42; 64]);
+    sys.crash(t);
+    let dump0 = sys.layout().wpq_dump_addr(0);
+    sys.nvm_mut().tamper(dump0, |line| line[0] ^= 1);
+    let err = sys.recover().expect_err("dump tampering must be detected");
+    println!("WPQ dump tampering -> detected: {err}");
+
+    // 5. Control: an untampered system reads back cleanly.
+    let (mut sys, t) = fresh_system_with_data();
+    let (_, data) = sys.read(t, 0);
+    assert_eq!(data, [0x10; 64]);
+    println!("control (no attack) -> verified read ✓");
+}

@@ -1,0 +1,54 @@
+//! Quickstart: persist a few cachelines through a Dolos controller, watch
+//! the critical-path difference against the baseline, then crash and
+//! recover.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dolos::core::{ControllerConfig, MiSuKind, SecureMemorySystem};
+use dolos::sim::Cycle;
+
+fn main() {
+    // A Dolos controller with the Partial-WPQ Mi-SU (one MAC on the
+    // critical path, 13 of 16 WPQ entries usable).
+    let mut dolos = SecureMemorySystem::new(ControllerConfig::dolos(MiSuKind::Partial));
+    // The state-of-the-art baseline: the whole security pipeline runs
+    // before a write may enter the persistence domain.
+    let mut baseline = SecureMemorySystem::new(ControllerConfig::baseline());
+
+    let line = *b"dolos makes persists fast!......................................";
+
+    let dolos_done = dolos.persist_write(Cycle::ZERO, 0x1000, &line);
+    let baseline_done = baseline.persist_write(Cycle::ZERO, 0x1000, &line);
+    println!("persist completion:");
+    println!("  dolos(partial): {:>6} cycles", dolos_done.as_u64());
+    println!("  baseline      : {:>6} cycles", baseline_done.as_u64());
+
+    // Reads hit the WPQ tag array until the Ma-SU drains the entry.
+    let (t, data) = dolos.read(dolos_done, 0x1000);
+    assert_eq!(data, line);
+    println!(
+        "read-back through WPQ tag array at +{} cycle(s)",
+        t - dolos_done
+    );
+
+    // Power failure: ADR dumps the Mi-SU-protected WPQ to NVM.
+    let mut t = dolos_done;
+    for i in 0..8u64 {
+        t = dolos.persist_write(t, 0x2000 + i * 64, &[i as u8; 64]);
+    }
+    dolos.crash(t);
+    let report = dolos.recover().expect("integrity verified");
+    println!(
+        "crash + recovery: {} WPQ entries replayed, estimated Mi-SU recovery {} cycles (~{:.3} ms)",
+        report.wpq_entries_replayed,
+        report.estimated_misu_cycles,
+        report.estimated_misu_cycles as f64 / 4.0e6
+    );
+    for i in 0..8u64 {
+        let (_, data) = dolos.read(Cycle::ZERO, 0x2000 + i * 64);
+        assert_eq!(data, [i as u8; 64]);
+    }
+    println!("all persisted data verified after recovery ✓");
+}

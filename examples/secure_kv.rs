@@ -1,0 +1,100 @@
+//! A crash-consistent key-value store on Dolos-secured persistent memory.
+//!
+//! Uses the persistent-memory environment and undo-log transactions the
+//! WHISPER workloads are built on: every `put` is atomic and every
+//! committed `put` survives an arbitrary power failure — with all data
+//! encrypted and integrity-protected in NVM.
+//!
+//! ```text
+//! cargo run --release --example secure_kv
+//! ```
+
+use dolos::core::{ControllerConfig, MiSuKind};
+use dolos::whisper::{PmEnv, UndoLog};
+
+/// A tiny persistent KV store: fixed-slot directory + out-of-place values.
+struct SecureKv {
+    directory: u64,
+    slots: u64,
+    log: UndoLog,
+}
+
+impl SecureKv {
+    fn create(env: &mut PmEnv, slots: u64) -> Self {
+        let directory = env.alloc(slots * 16);
+        for i in 0..slots {
+            env.write_u64(directory + i * 16, 0);
+        }
+        env.persist(directory, slots * 16);
+        let log = UndoLog::new(env, 64 * 1024);
+        Self {
+            directory,
+            slots,
+            log,
+        }
+    }
+
+    fn slot(&self, key: u64) -> u64 {
+        self.directory + (key % self.slots) * 16
+    }
+
+    fn put(&mut self, env: &mut PmEnv, key: u64, value: &[u8]) {
+        self.log.begin(env);
+        let slot = self.slot(key);
+        let vptr = env.alloc(8 + value.len() as u64);
+        env.write_u64(vptr, value.len() as u64);
+        env.write_bytes(vptr + 8, value);
+        env.persist(vptr, 8 + value.len() as u64);
+        self.log.set_u64(env, slot, key + 1);
+        self.log.set_u64(env, slot + 8, vptr);
+        self.log.commit(env);
+    }
+
+    fn get(&self, env: &mut PmEnv, key: u64) -> Option<Vec<u8>> {
+        let slot = self.slot(key);
+        if env.read_u64(slot) != key + 1 {
+            return None;
+        }
+        let vptr = env.read_u64(slot + 8);
+        let len = env.read_u64(vptr) as usize;
+        Some(env.read_bytes(vptr + 8, len))
+    }
+}
+
+fn main() {
+    let mut env = PmEnv::new(ControllerConfig::dolos(MiSuKind::Partial));
+    let mut kv = SecureKv::create(&mut env, 128);
+
+    println!("populating 32 keys inside undo-log transactions...");
+    for key in 0..32u64 {
+        let value = format!("value-for-key-{key}");
+        kv.put(&mut env, key, value.as_bytes());
+    }
+
+    // Begin a transaction and crash before it commits: it must roll back.
+    kv.log.begin(&mut env);
+    let slot = kv.slot(7);
+    kv.log.set_u64(&mut env, slot, 9999); // torn update
+    println!("power failure mid-transaction on key 7...");
+    env.crash();
+    env.recover().expect("memory integrity verified");
+    let undone = kv.log.recover(&mut env);
+    println!("undo log rolled back {undone} record(s)");
+
+    for key in 0..32u64 {
+        let expected = format!("value-for-key-{key}");
+        let got = kv.get(&mut env, key).expect("key present");
+        assert_eq!(got, expected.as_bytes(), "key {key}");
+    }
+    println!("all 32 committed values intact; torn update rolled back ✓");
+
+    let stats = env.system().stats();
+    println!(
+        "persists: {}, WPQ coalesces: {}, counter-cache hit rate: {:.1}%",
+        stats.get_or_zero("ctrl.persists"),
+        stats.get_or_zero("wpq.coalesces"),
+        100.0 * stats.get_or_zero("ctr_cache.hits")
+            / (stats.get_or_zero("ctr_cache.hits") + stats.get_or_zero("ctr_cache.misses"))
+                .max(1.0),
+    );
+}

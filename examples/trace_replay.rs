@@ -1,0 +1,61 @@
+//! Capture a workload's persist trace once, then replay it against every
+//! controller architecture — gem5-style trace-driven evaluation.
+//!
+//! ```text
+//! cargo run --release --example trace_replay
+//! ```
+
+use dolos::core::{ControllerConfig, MiSuKind};
+use dolos::sim::rng::XorShift;
+use dolos::whisper::workloads::WorkloadKind;
+use dolos::whisper::PmEnv;
+
+fn main() {
+    // 1. Record: run the B+-tree workload once with tracing on.
+    let mut env = PmEnv::new(ControllerConfig::dolos(MiSuKind::Partial));
+    env.start_recording();
+    let mut workload = WorkloadKind::Btree.build();
+    workload.setup(&mut env);
+    let mut rng = XorShift::new(42);
+    for _ in 0..100 {
+        workload.transaction(&mut env, 1024, &mut rng);
+    }
+    let recorded_cycles = env.now().as_u64();
+    let trace = env.take_trace().expect("recording was on");
+    println!(
+        "captured {} ops, {} persisted lines, {} cycles live",
+        trace.len(),
+        trace.persist_lines(),
+        recorded_cycles
+    );
+
+    // 2. Serialize + parse round trip (the on-disk format).
+    let text = trace.serialize();
+    let trace = dolos::whisper::Trace::parse(&text).expect("well-formed");
+    println!("serialized to {} bytes of text", text.len());
+
+    // 3. Replay against every architecture.
+    println!(
+        "\n{:<16} {:>12} {:>10} {:>8}",
+        "controller", "cycles", "retries", "vs live"
+    );
+    for config in [
+        ControllerConfig::ideal(),
+        ControllerConfig::deferred(),
+        ControllerConfig::baseline(),
+        ControllerConfig::dolos(MiSuKind::Full),
+        ControllerConfig::dolos(MiSuKind::Partial),
+        ControllerConfig::dolos(MiSuKind::Post),
+    ] {
+        let name = config.kind.name();
+        let result = trace.replay(config);
+        println!(
+            "{:<16} {:>12} {:>10} {:>7.3}x",
+            name,
+            result.cycles,
+            result.retries,
+            recorded_cycles as f64 / result.cycles as f64
+        );
+    }
+    println!("\n(dolos-partial replays at exactly 1.000x: the replay is cycle-exact)");
+}

@@ -1,0 +1,225 @@
+//! Property-based tests (proptest) over the core invariants:
+//! crypto round-trips, counter-block serialization, WPQ-vs-model
+//! equivalence, and randomized crash-point durability.
+
+use proptest::prelude::*;
+
+use dolos::core::{ControllerConfig, MiSuKind, SecureMemorySystem};
+use dolos::crypto::aes::Aes128;
+use dolos::crypto::ctr::{generate_pad, xor_in_place, IvBuilder};
+use dolos::crypto::mac::MacEngine;
+use dolos::nvm::wpq::{InsertOutcome, WriteQueue};
+use dolos::nvm::LineAddr;
+use dolos::secmem::counters::CounterBlock;
+use dolos::sim::Cycle;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ctr_encryption_round_trips(
+        key in prop::array::uniform16(any::<u8>()),
+        addr in (0u64..1 << 30).prop_map(|a| a & !63),
+        counter in any::<u64>(),
+        data in prop::array::uniform32(any::<u8>()),
+    ) {
+        let aes = Aes128::new(&key);
+        let iv = IvBuilder::new().address(addr).counter(counter).build();
+        let pad = generate_pad(&aes, &iv, 32);
+        let mut buf = data;
+        xor_in_place(&mut buf, &pad);
+        xor_in_place(&mut buf, &pad);
+        prop_assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn mac_detects_any_single_bit_flip(
+        key in prop::array::uniform16(any::<u8>()),
+        data in prop::collection::vec(any::<u8>(), 1..128),
+        bit in any::<u16>(),
+    ) {
+        let mac = MacEngine::new(key);
+        let tag = mac.tag(&data);
+        let mut tampered = data.clone();
+        let pos = (bit as usize / 8) % tampered.len();
+        tampered[pos] ^= 1 << (bit % 8);
+        prop_assert!(!mac.verify(&tampered, &tag));
+        prop_assert!(mac.verify(&data, &tag));
+    }
+
+    #[test]
+    fn counter_block_serialization_round_trips(
+        increments in prop::collection::vec((0usize..64, 1u16..200), 0..40),
+    ) {
+        let mut block = CounterBlock::new();
+        for (line, n) in increments {
+            for _ in 0..n {
+                block.increment(line);
+            }
+        }
+        let line = block.to_line();
+        prop_assert_eq!(CounterBlock::from_line(&line), block);
+    }
+
+    #[test]
+    fn counter_values_never_repeat(
+        lines in prop::collection::vec(0usize..8, 1..300),
+    ) {
+        let mut block = CounterBlock::new();
+        let mut seen = std::collections::HashSet::new();
+        for line in lines {
+            let packed = block.increment(line).counter().packed();
+            // Uniqueness per line: (line, packed) pairs never recur.
+            prop_assert!(seen.insert((line, packed)), "counter reuse on line {}", line);
+        }
+    }
+
+    #[test]
+    fn wpq_matches_fifo_model(
+        ops in prop::collection::vec((0u64..12, any::<u8>(), any::<bool>()), 1..120),
+    ) {
+        // Reference model: ordered map addr -> freshest value plus FIFO of
+        // pending (addr, value) respecting coalescing on live entries.
+        let mut wpq = WriteQueue::new(4);
+        let mut model: Vec<(u64, u8)> = Vec::new(); // live entries in order
+        for (addr_idx, value, drain) in ops {
+            if drain {
+                if let Some(e) = wpq.fetch_oldest() {
+                    wpq.clear(e.slot);
+                    let pos = model
+                        .iter()
+                        .position(|&(a, _)| a == e.addr.line_index())
+                        .expect("model has the entry");
+                    let (_, v) = model.remove(pos);
+                    prop_assert_eq!(e.payload[0], v, "drain order/value mismatch");
+                }
+                continue;
+            }
+            let addr = LineAddr::from_index(addr_idx);
+            let mut payload = [0u8; 64];
+            payload[0] = value;
+            match wpq.try_insert(addr, payload, None) {
+                InsertOutcome::Inserted { .. } => model.push((addr_idx, value)),
+                InsertOutcome::Coalesced { .. } => {
+                    let entry = model
+                        .iter_mut()
+                        .find(|(a, _)| *a == addr_idx)
+                        .expect("coalesce implies live entry");
+                    entry.1 = value;
+                }
+                InsertOutcome::Full => {
+                    prop_assert_eq!(model.len(), 4, "Full only when model is full");
+                }
+            }
+            // Tag array always returns the freshest value.
+            if let Some(&(_, v)) = model.iter().rev().find(|(a, _)| *a == addr_idx) {
+                prop_assert_eq!(wpq.lookup(addr).expect("tag hit").payload[0], v);
+            }
+        }
+        prop_assert_eq!(wpq.len(), model.len());
+    }
+
+    #[test]
+    fn fenced_writes_survive_crash_at_any_point(
+        writes in prop::collection::vec((0u64..32, any::<u8>()), 1..40),
+        crash_after in any::<prop::sample::Index>(),
+        misu_idx in 0usize..3,
+    ) {
+        let misu = MiSuKind::ALL[misu_idx];
+        let mut sys = SecureMemorySystem::new(ControllerConfig::dolos(misu));
+        let crash_point = crash_after.index(writes.len());
+        let mut t = Cycle::ZERO;
+        let mut committed: std::collections::HashMap<u64, u8> = std::collections::HashMap::new();
+        for (i, &(line, value)) in writes.iter().enumerate() {
+            if i == crash_point {
+                break;
+            }
+            t = sys.persist_write(t, line * 64, &[value; 64]);
+            committed.insert(line, value);
+        }
+        sys.crash(t);
+        sys.recover().expect("clean recovery");
+        for (&line, &value) in &committed {
+            let (_, data) = sys.read(Cycle::ZERO, line * 64);
+            prop_assert_eq!(data, [value; 64], "{} line {} lost", misu, line);
+        }
+    }
+
+    #[test]
+    fn reads_always_return_last_write(
+        ops in prop::collection::vec((0u64..16, any::<u8>()), 1..60),
+    ) {
+        let mut sys = SecureMemorySystem::new(ControllerConfig::dolos(MiSuKind::Partial));
+        let mut t = Cycle::ZERO;
+        let mut shadow: std::collections::HashMap<u64, u8> = std::collections::HashMap::new();
+        for (line, value) in ops {
+            t = sys.persist_write(t, line * 64, &[value; 64]);
+            shadow.insert(line, value);
+            let (t2, data) = sys.read(t, line * 64);
+            t = t2;
+            prop_assert_eq!(data, [value; 64]);
+        }
+        for (&line, &value) in &shadow {
+            let (t2, data) = sys.read(t, line * 64);
+            t = t2;
+            prop_assert_eq!(data, [value; 64]);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any workload, crashed after a random number of transactions, recovers
+    /// with every committed transaction intact.
+    #[test]
+    fn workloads_are_crash_consistent_at_random_points(
+        workload_idx in 0usize..8,
+        txns in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        use dolos::whisper::workloads::WorkloadKind;
+        use dolos::whisper::PmEnv;
+        use dolos::sim::rng::XorShift;
+
+        let kind = WorkloadKind::EXTENDED[workload_idx];
+        let mut env = PmEnv::new(ControllerConfig::dolos(MiSuKind::Partial));
+        let mut workload = kind.build();
+        workload.setup(&mut env);
+        let mut rng = XorShift::new(seed);
+        for _ in 0..txns {
+            workload.transaction(&mut env, 256, &mut rng);
+        }
+        env.crash();
+        env.recover().expect("clean recovery");
+        workload.verify(&mut env);
+    }
+
+    /// Traces replay to the exact cycle count of the live run for random
+    /// workloads and seeds.
+    #[test]
+    fn trace_replay_is_cycle_exact(
+        workload_idx in 0usize..6,
+        seed in any::<u64>(),
+    ) {
+        use dolos::whisper::workloads::WorkloadKind;
+        use dolos::whisper::PmEnv;
+        use dolos::sim::rng::XorShift;
+
+        let kind = WorkloadKind::ALL[workload_idx];
+        let mut config = ControllerConfig::dolos(MiSuKind::Partial);
+        config.region_bytes = 64 << 20;
+        let mut env = PmEnv::new(config);
+        env.start_recording();
+        let mut workload = kind.build();
+        workload.setup(&mut env);
+        let mut rng = XorShift::new(seed);
+        for _ in 0..6 {
+            workload.transaction(&mut env, 512, &mut rng);
+        }
+        let live = env.now().as_u64();
+        let trace = env.take_trace().expect("recording");
+        let replayed = trace.replay(ControllerConfig::dolos(MiSuKind::Partial));
+        prop_assert_eq!(replayed.cycles, live);
+    }
+}

@@ -1,0 +1,186 @@
+//! Timing-model invariants that back the paper's claims: latency orderings,
+//! retry orderings, and the sensitivity trends of §5.2–§5.4.
+
+use dolos::core::{ControllerConfig, MiSuKind, UpdateScheme};
+use dolos::whisper::runner::{run_workload, RunConfig};
+use dolos::whisper::workloads::WorkloadKind;
+
+fn rc(txn_bytes: usize) -> RunConfig {
+    RunConfig {
+        transactions: 120,
+        txn_bytes,
+        warmup: 16,
+        ..RunConfig::default()
+    }
+}
+
+#[test]
+fn dolos_always_beats_the_baseline() {
+    for kind in WorkloadKind::ALL {
+        let base = run_workload(kind, ControllerConfig::baseline(), &rc(1024));
+        for misu in MiSuKind::ALL {
+            let d = run_workload(kind, ControllerConfig::dolos(misu), &rc(1024));
+            assert!(
+                d.speedup_vs(&base) > 1.0,
+                "{kind}/{misu}: speedup {:.3}",
+                d.speedup_vs(&base)
+            );
+        }
+    }
+}
+
+#[test]
+fn ideal_upper_bounds_everything() {
+    let kind = WorkloadKind::Ctree;
+    let ideal = run_workload(kind, ControllerConfig::ideal(), &rc(1024));
+    for config in [
+        ControllerConfig::baseline(),
+        ControllerConfig::deferred(),
+        ControllerConfig::dolos(MiSuKind::Full),
+        ControllerConfig::dolos(MiSuKind::Partial),
+        ControllerConfig::dolos(MiSuKind::Post),
+    ] {
+        let name = config.kind.name();
+        let r = run_workload(kind, config, &rc(1024));
+        assert!(r.cycles >= ideal.cycles, "{name} faster than ideal");
+    }
+}
+
+#[test]
+fn retry_ordering_follows_wpq_size() {
+    // Table 2: Full (16 slots) < Partial (13) < Post (10) in retries/KWR.
+    for kind in [WorkloadKind::Hashmap, WorkloadKind::Rbtree] {
+        let retries: Vec<f64> = MiSuKind::ALL
+            .iter()
+            .map(|&m| run_workload(kind, ControllerConfig::dolos(m), &rc(1024)).retries_per_kwr())
+            .collect();
+        assert!(
+            retries[0] <= retries[1],
+            "{kind}: full {} > partial {}",
+            retries[0],
+            retries[1]
+        );
+        assert!(
+            retries[1] <= retries[2],
+            "{kind}: partial {} > post {}",
+            retries[1],
+            retries[2]
+        );
+    }
+}
+
+#[test]
+fn bigger_wpq_reduces_retries_and_helps_speedup() {
+    // Figure 15's two trends.
+    let kind = WorkloadKind::Hashmap;
+    let mut last_retries = f64::MAX;
+    let mut speedups = Vec::new();
+    for physical in [16usize, 32, 64] {
+        let base = run_workload(
+            kind,
+            ControllerConfig::baseline().with_wpq_entries(physical),
+            &rc(1024),
+        );
+        let d = run_workload(
+            kind,
+            ControllerConfig::dolos(MiSuKind::Partial).with_wpq_entries(physical),
+            &rc(1024),
+        );
+        assert!(
+            d.retries_per_kwr() <= last_retries,
+            "retries must not grow with WPQ size"
+        );
+        last_retries = d.retries_per_kwr();
+        speedups.push(d.speedup_vs(&base));
+    }
+    assert!(
+        speedups[1] >= speedups[0] * 0.98,
+        "speedup should not degrade with a bigger WPQ: {speedups:?}"
+    );
+}
+
+#[test]
+fn larger_transactions_cause_more_retries() {
+    // Figure 13's trend.
+    let kind = WorkloadKind::Hashmap;
+    let small = run_workload(kind, ControllerConfig::dolos(MiSuKind::Partial), &rc(128));
+    let large = run_workload(kind, ControllerConfig::dolos(MiSuKind::Partial), &rc(2048));
+    assert!(
+        large.retries_per_kwr() > small.retries_per_kwr(),
+        "2048B: {:.1} vs 128B: {:.1}",
+        large.retries_per_kwr(),
+        small.retries_per_kwr()
+    );
+}
+
+#[test]
+fn smaller_transactions_get_higher_speedup() {
+    // Figure 14's trend.
+    let kind = WorkloadKind::Hashmap;
+    let base_small = run_workload(kind, ControllerConfig::baseline(), &rc(128));
+    let dolos_small = run_workload(kind, ControllerConfig::dolos(MiSuKind::Partial), &rc(128));
+    let base_large = run_workload(kind, ControllerConfig::baseline(), &rc(2048));
+    let dolos_large = run_workload(kind, ControllerConfig::dolos(MiSuKind::Partial), &rc(2048));
+    assert!(
+        dolos_small.speedup_vs(&base_small) > dolos_large.speedup_vs(&base_large),
+        "128B: {:.3} vs 2048B: {:.3}",
+        dolos_small.speedup_vs(&base_small),
+        dolos_large.speedup_vs(&base_large)
+    );
+}
+
+#[test]
+fn lazy_scheme_shrinks_the_dolos_advantage() {
+    // Figure 16 vs Figure 12: with only 4 MACs in the Ma-SU, deferring them
+    // buys much less.
+    let kind = WorkloadKind::Hashmap;
+    let eager_base = run_workload(kind, ControllerConfig::baseline(), &rc(1024));
+    let eager_dolos = run_workload(kind, ControllerConfig::dolos(MiSuKind::Partial), &rc(1024));
+    let lazy_cfg = |c: ControllerConfig| c.with_scheme(UpdateScheme::LazyToc);
+    let lazy_base = run_workload(kind, lazy_cfg(ControllerConfig::baseline()), &rc(1024));
+    let lazy_dolos = run_workload(
+        kind,
+        lazy_cfg(ControllerConfig::dolos(MiSuKind::Partial)),
+        &rc(1024),
+    );
+    assert!(
+        eager_dolos.speedup_vs(&eager_base) > lazy_dolos.speedup_vs(&lazy_base),
+        "eager {:.3} should exceed lazy {:.3}",
+        eager_dolos.speedup_vs(&eager_base),
+        lazy_dolos.speedup_vs(&lazy_base)
+    );
+}
+
+#[test]
+fn full_design_has_no_per_entry_mac_to_drain() {
+    // Full's dump stores no per-entry MACs; Partial/Post do. Checked via
+    // the usable-entry arithmetic here and the dump format tests in core.
+    assert_eq!(
+        ControllerConfig::dolos(MiSuKind::Full).usable_wpq_entries(),
+        16
+    );
+    assert_eq!(
+        ControllerConfig::dolos(MiSuKind::Partial).usable_wpq_entries(),
+        13
+    );
+    assert_eq!(
+        ControllerConfig::dolos(MiSuKind::Post).usable_wpq_entries(),
+        10
+    );
+}
+
+#[test]
+fn deferred_bounds_dolos_from_above() {
+    // Fig 5-c is the (infeasible) best case for deferring security; Dolos
+    // must land between the baseline and it.
+    let kind = WorkloadKind::Btree;
+    let base = run_workload(kind, ControllerConfig::baseline(), &rc(1024));
+    let deferred = run_workload(kind, ControllerConfig::deferred(), &rc(1024));
+    let dolos = run_workload(kind, ControllerConfig::dolos(MiSuKind::Partial), &rc(1024));
+    let s_deferred = deferred.speedup_vs(&base);
+    let s_dolos = dolos.speedup_vs(&base);
+    assert!(
+        s_dolos > 1.0 && s_dolos <= s_deferred * 1.01,
+        "dolos {s_dolos:.3} vs deferred {s_deferred:.3}"
+    );
+}
