@@ -1,85 +1,58 @@
 //! Benchmarks of the secure memory controller: simulation throughput of the
 //! persist path under each architecture, plus crash/recovery.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use dolos_bench::microbench::{bb, Bench};
 
 use dolos_core::{ControllerConfig, MiSuKind, SecureMemorySystem};
 use dolos_sim::Cycle;
 
-fn persist_throughput(c: &mut Criterion, name: &str, config: ControllerConfig) {
-    c.bench_function(name, |b| {
-        b.iter_with_setup(
-            || SecureMemorySystem::new(config.clone()),
-            |mut sys| {
-                let mut t = Cycle::ZERO;
-                for i in 0..64u64 {
-                    t = sys.persist_write(t, (i % 256) * 64, black_box(&[i as u8; 64]));
-                }
-                sys.quiesce(t)
-            },
-        )
+fn persist_throughput(b: &mut Bench, name: &str, config: ControllerConfig) {
+    b.run(name, || {
+        let mut sys = SecureMemorySystem::new(config.clone());
+        let mut t = Cycle::ZERO;
+        for i in 0..64u64 {
+            t = sys.persist_write(t, (i % 256) * 64, bb(&[i as u8; 64]));
+        }
+        sys.quiesce(t)
     });
 }
 
-fn bench_persist(c: &mut Criterion) {
-    persist_throughput(c, "persist64_ideal", ControllerConfig::ideal());
-    persist_throughput(c, "persist64_baseline", ControllerConfig::baseline());
+fn main() {
+    let mut b = Bench::from_args("controller");
+
+    persist_throughput(&mut b, "persist64_ideal", ControllerConfig::ideal());
+    persist_throughput(&mut b, "persist64_baseline", ControllerConfig::baseline());
     persist_throughput(
-        c,
+        &mut b,
         "persist64_dolos_full",
         ControllerConfig::dolos(MiSuKind::Full),
     );
     persist_throughput(
-        c,
+        &mut b,
         "persist64_dolos_partial",
         ControllerConfig::dolos(MiSuKind::Partial),
     );
     persist_throughput(
-        c,
+        &mut b,
         "persist64_dolos_post",
         ControllerConfig::dolos(MiSuKind::Post),
     );
-}
 
-fn bench_reads(c: &mut Criterion) {
     let mut sys = SecureMemorySystem::new(ControllerConfig::dolos(MiSuKind::Partial));
     let mut t = Cycle::ZERO;
     for i in 0..64u64 {
         t = sys.persist_write(t, i * 64, &[i as u8; 64]);
     }
     let quiet = sys.quiesce(t);
-    c.bench_function("read_after_drain", |b| {
-        b.iter(|| sys.read(quiet, black_box(0x40)))
+    b.run("read_after_drain", || sys.read(quiet, bb(0x40)));
+
+    b.run("crash_and_recover_partial", || {
+        let mut sys = SecureMemorySystem::new(ControllerConfig::dolos(MiSuKind::Partial));
+        let mut t = Cycle::ZERO;
+        for i in 0..32u64 {
+            t = sys.persist_write(t, i * 64, &[i as u8; 64]);
+        }
+        sys.crash(t);
+        sys.recover().expect("clean recovery")
     });
 }
-
-fn bench_crash_recover(c: &mut Criterion) {
-    c.bench_function("crash_and_recover_partial", |b| {
-        b.iter_with_setup(
-            || {
-                let mut sys = SecureMemorySystem::new(ControllerConfig::dolos(MiSuKind::Partial));
-                let mut t = Cycle::ZERO;
-                for i in 0..32u64 {
-                    t = sys.persist_write(t, i * 64, &[i as u8; 64]);
-                }
-                (sys, t)
-            },
-            |(mut sys, t)| {
-                sys.crash(t);
-                sys.recover().expect("clean recovery")
-            },
-        )
-    });
-}
-
-fn config() -> Criterion {
-    Criterion::default().sample_size(10)
-}
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_persist, bench_reads, bench_crash_recover
-}
-criterion_main!(benches);

@@ -1,58 +1,33 @@
 //! Microbenchmarks of the functional crypto substrate (host wall-clock, not
 //! simulated cycles — the simulated costs come from Table 1's latency model).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use dolos_bench::microbench::{bb, Bench};
 
 use dolos_crypto::aes::Aes128;
 use dolos_crypto::ctr::{generate_pad, xor_in_place, IvBuilder};
 use dolos_crypto::mac::MacEngine;
 
-fn bench_aes_block(c: &mut Criterion) {
+fn main() {
+    let mut b = Bench::from_args("crypto");
+
     let key = Aes128::new(&[7; 16]);
     let block = [0x5A; 16];
-    c.bench_function("aes128_encrypt_block", |b| {
-        b.iter(|| key.encrypt_block(black_box(&block)))
-    });
-}
+    b.run("aes128_encrypt_block", || key.encrypt_block(bb(&block)));
 
-fn bench_pad_generation(c: &mut Criterion) {
-    let key = Aes128::new(&[7; 16]);
     let iv = IvBuilder::new().address(0x4000).counter(17).build();
-    c.bench_function("ctr_pad_64B", |b| {
-        b.iter(|| generate_pad(black_box(&key), black_box(&iv), 64))
-    });
-}
+    b.run("ctr_pad_64B", || generate_pad(bb(&key), bb(&iv), 64));
 
-fn bench_line_encrypt(c: &mut Criterion) {
-    let key = Aes128::new(&[7; 16]);
-    let iv = IvBuilder::new().address(0x4000).counter(17).build();
     let pad = generate_pad(&key, &iv, 64);
-    c.bench_function("line_xor_encrypt", |b| {
-        b.iter(|| {
-            let mut line = [0xABu8; 64];
-            xor_in_place(&mut line, black_box(&pad));
-            line
-        })
+    b.run("line_xor_encrypt", || {
+        let mut line = [0xABu8; 64];
+        xor_in_place(&mut line, bb(&pad));
+        line
     });
-}
 
-fn bench_mac(c: &mut Criterion) {
     let mac = MacEngine::new([9; 16]);
     let line = [0x11u8; 64];
-    c.bench_function("cbc_mac_64B", |b| b.iter(|| mac.tag(black_box(&line))));
-    c.bench_function("cbc_mac_parts", |b| {
-        b.iter(|| mac.tag_parts(black_box(&[&line[..32], &line[32..], &line[..8]])))
+    b.run("cbc_mac_64B", || mac.tag(bb(&line)));
+    b.run("cbc_mac_parts", || {
+        mac.tag_parts(bb(&[&line[..32], &line[32..], &line[..8]]))
     });
 }
-
-fn config() -> Criterion {
-    Criterion::default().sample_size(20)
-}
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_aes_block, bench_pad_generation, bench_line_encrypt, bench_mac
-}
-criterion_main!(benches);

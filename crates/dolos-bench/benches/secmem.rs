@@ -1,7 +1,6 @@
 //! Microbenchmarks of the security-metadata substrate.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use dolos_bench::microbench::{bb, Bench};
 
 use dolos_crypto::mac::MacEngine;
 use dolos_secmem::bmt::BonsaiMerkleTree;
@@ -10,59 +9,45 @@ use dolos_secmem::counters::CounterBlock;
 use dolos_secmem::ecc::{ecc64, probe_counter};
 use dolos_secmem::toc::TreeOfCounters;
 
-fn bench_bmt(c: &mut Criterion) {
+fn main() {
+    let mut b = Bench::from_args("secmem");
+
     // 4096 pages = a 16 MiB protected region (height 4).
     let mut tree = BonsaiMerkleTree::new(4096, MacEngine::new([1; 16]));
     let mut i = 0u64;
-    c.bench_function("bmt_update_leaf_16MiB", |b| {
-        b.iter(|| {
-            i = (i + 1) % 4096;
-            tree.update_leaf(i, black_box(&[i as u8; 64]))
-        })
+    b.run("bmt_update_leaf_16MiB", || {
+        i = (i + 1) % 4096;
+        tree.update_leaf(i, bb(&[i as u8; 64]))
     });
     tree.update_leaf(7, &[9; 64]);
-    c.bench_function("bmt_verify_leaf_16MiB", |b| {
-        b.iter(|| tree.verify_leaf(7, black_box(&[9; 64])))
+    b.run("bmt_verify_leaf_16MiB", || {
+        tree.verify_leaf(7, bb(&[9; 64]))
     });
-}
 
-fn bench_toc(c: &mut Criterion) {
     let mut toc = TreeOfCounters::new(4096, MacEngine::new([2; 16]));
-    let mut i = 0u64;
-    c.bench_function("toc_update_leaf_16MiB", |b| {
-        b.iter(|| {
-            i = (i + 1) % 64; // keep the shadow region bounded
-            toc.update_leaf(i, black_box(&[i as u8; 64]));
-        })
+    let mut j = 0u64;
+    b.run("toc_update_leaf_16MiB", || {
+        j = (j + 1) % 64; // keep the shadow region bounded
+        toc.update_leaf(j, bb(&[j as u8; 64]));
     });
-}
 
-fn bench_counters(c: &mut Criterion) {
     let mut block = CounterBlock::new();
-    c.bench_function("counter_block_increment", |b| {
-        b.iter(|| block.increment(black_box(13)))
-    });
+    b.run("counter_block_increment", || block.increment(bb(13)));
     let line = block.to_line();
-    c.bench_function("counter_block_roundtrip", |b| {
-        b.iter(|| CounterBlock::from_line(black_box(&line)).to_line())
+    b.run("counter_block_roundtrip", || {
+        CounterBlock::from_line(bb(&line)).to_line()
     });
-}
 
-fn bench_cache(c: &mut Criterion) {
     let mut cache = SetAssocCache::with_capacity_bytes(128 * 1024, 4);
     for k in 0..2048u64 {
         cache.fill(k, [k as u8; 64], false);
     }
     let mut k = 0u64;
-    c.bench_function("counter_cache_probe", |b| {
-        b.iter(|| {
-            k = (k + 1) % 4096;
-            cache.probe(black_box(k))
-        })
+    b.run("counter_cache_probe", || {
+        k = (k + 1) % 4096;
+        cache.probe(bb(k))
     });
-}
 
-fn bench_osiris(c: &mut Criterion) {
     use dolos_crypto::aes::Aes128;
     use dolos_crypto::ctr::{generate_pad, xor_in_place, IvBuilder};
     let key = Aes128::new(&[3; 16]);
@@ -71,18 +56,7 @@ fn bench_osiris(c: &mut Criterion) {
     let mut ct = plaintext;
     xor_in_place(&mut ct, &generate_pad(&key, &iv, 64));
     let ecc = ecc64(&plaintext);
-    c.bench_function("osiris_probe_window4", |b| {
-        b.iter(|| probe_counter(black_box(&key), 0x40, black_box(&ct), ecc, 7, 4))
+    b.run("osiris_probe_window4", || {
+        probe_counter(bb(&key), 0x40, bb(&ct), ecc, 7, 4)
     });
 }
-
-fn config() -> Criterion {
-    Criterion::default().sample_size(20)
-}
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_bmt, bench_toc, bench_counters, bench_cache, bench_osiris
-}
-criterion_main!(benches);

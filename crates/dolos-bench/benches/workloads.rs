@@ -1,7 +1,7 @@
 //! Benchmarks of full workload transactions (simulator throughput per
 //! WHISPER benchmark), plus one end-to-end figure-shaped comparison.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dolos_bench::microbench::Bench;
 
 use dolos_core::{ControllerConfig, MiSuKind};
 use dolos_sim::rng::XorShift;
@@ -9,30 +9,22 @@ use dolos_whisper::runner::{run_workload, RunConfig};
 use dolos_whisper::workloads::WorkloadKind;
 use dolos_whisper::PmEnv;
 
-fn bench_transactions(c: &mut Criterion) {
-    let mut group = c.benchmark_group("transaction");
+fn main() {
+    let mut b = Bench::from_args("workloads");
+
     for kind in WorkloadKind::ALL {
-        group.bench_function(kind.name(), |b| {
-            b.iter_with_setup(
-                || {
-                    let mut env = PmEnv::new(ControllerConfig::dolos(MiSuKind::Partial));
-                    let mut w = kind.build();
-                    w.setup(&mut env);
-                    (env, w, XorShift::new(1))
-                },
-                |(mut env, mut w, mut rng)| {
-                    for _ in 0..8 {
-                        w.transaction(&mut env, 1024, &mut rng);
-                    }
-                    env.now()
-                },
-            )
+        b.run(&format!("transaction/{}", kind.name()), || {
+            let mut env = PmEnv::new(ControllerConfig::dolos(MiSuKind::Partial));
+            let mut w = kind.build();
+            w.setup(&mut env);
+            let mut rng = XorShift::new(1);
+            for _ in 0..8 {
+                w.transaction(&mut env, 1024, &mut rng);
+            }
+            env.now()
         });
     }
-    group.finish();
-}
 
-fn bench_fig12_shape(c: &mut Criterion) {
     // One guarded end-to-end run per iteration: regenerates the Figure 12
     // hashmap cell and asserts the headline claim (Dolos wins) every time.
     let rc = RunConfig {
@@ -40,33 +32,27 @@ fn bench_fig12_shape(c: &mut Criterion) {
         warmup: 8,
         ..RunConfig::default()
     };
-    c.bench_function("fig12_hashmap_cell", |b| {
-        b.iter(|| {
-            let base = run_workload(WorkloadKind::Hashmap, ControllerConfig::baseline(), &rc);
-            let dolos = run_workload(
-                WorkloadKind::Hashmap,
-                ControllerConfig::dolos(MiSuKind::Partial),
-                &rc,
-            );
-            assert!(dolos.speedup_vs(&base) > 1.0, "Dolos must win");
-            dolos.cycles
-        })
+    b.run("fig12_hashmap_cell", || {
+        let base = run_workload(WorkloadKind::Hashmap, ControllerConfig::baseline(), &rc);
+        let dolos = run_workload(
+            WorkloadKind::Hashmap,
+            ControllerConfig::dolos(MiSuKind::Partial),
+            &rc,
+        );
+        assert!(dolos.speedup_vs(&base) > 1.0, "Dolos must win");
+        dolos.cycles
     });
-}
 
-fn bench_cpu_cache(c: &mut Criterion) {
-    use dolos_whisper::cpu_cache::CpuCacheHierarchy;
-    let mut caches = CpuCacheHierarchy::new();
-    let mut i = 0u64;
-    c.bench_function("cpu_cache_access", |b| {
-        b.iter(|| {
+    {
+        use dolos_whisper::cpu_cache::CpuCacheHierarchy;
+        let mut caches = CpuCacheHierarchy::new();
+        let mut i = 0u64;
+        b.run("cpu_cache_access", || {
             i = (i + 1) % 4096;
             caches.access(i * 64, i.is_multiple_of(3))
-        })
-    });
-}
+        });
+    }
 
-fn bench_trace_replay(c: &mut Criterion) {
     // Record a small trace once; measure replay throughput.
     let mut config = ControllerConfig::dolos(MiSuKind::Partial);
     config.region_bytes = 64 << 20;
@@ -79,18 +65,7 @@ fn bench_trace_replay(c: &mut Criterion) {
         w.transaction(&mut env, 512, &mut rng);
     }
     let trace = env.take_trace().expect("recording");
-    c.bench_function("trace_replay_20txn", |b| {
-        b.iter(|| trace.replay(ControllerConfig::dolos(MiSuKind::Partial)))
+    b.run("trace_replay_20txn", || {
+        trace.replay(ControllerConfig::dolos(MiSuKind::Partial))
     });
 }
-
-fn config() -> Criterion {
-    Criterion::default().sample_size(10)
-}
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_transactions, bench_fig12_shape, bench_cpu_cache, bench_trace_replay
-}
-criterion_main!(benches);

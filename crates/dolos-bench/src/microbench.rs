@@ -1,0 +1,111 @@
+//! Minimal wall-clock micro-benchmark harness (criterion replacement).
+//!
+//! The workspace builds offline with no external crates, so the `[[bench]]`
+//! targets use this self-contained harness instead of criterion. It keeps the
+//! two behaviours that matter:
+//!
+//! * under `cargo bench` (cargo passes `--bench`) each benchmark is warmed up
+//!   and timed over enough iterations to report a stable ns/iter figure;
+//! * under `cargo test` (no `--bench` flag) each benchmark runs a single
+//!   iteration as a smoke test, so bench targets stay compiled and correct
+//!   without slowing the test suite down.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Re-exported so bench files only import from this module.
+pub use std::hint::black_box as bb;
+
+/// How a [`Bench`] run executes: full timing or a single smoke iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Warm up, then time a calibrated batch (under `cargo bench`).
+    Measure,
+    /// One iteration per benchmark (under `cargo test`).
+    Smoke,
+}
+
+/// A named collection of micro-benchmarks.
+#[derive(Debug)]
+pub struct Bench {
+    suite: &'static str,
+    mode: Mode,
+    target_time: Duration,
+}
+
+impl Bench {
+    /// Creates a harness for `suite`, inspecting the process arguments to
+    /// decide between measure mode (`--bench` present, as `cargo bench`
+    /// passes) and smoke mode (`cargo test`).
+    pub fn from_args(suite: &'static str) -> Self {
+        let measure = std::env::args().any(|a| a == "--bench");
+        Self {
+            suite,
+            mode: if measure { Mode::Measure } else { Mode::Smoke },
+            target_time: Duration::from_millis(200),
+        }
+    }
+
+    /// Runs one benchmark: `f` is invoked repeatedly and its result is
+    /// black-boxed so the work cannot be optimized away.
+    pub fn run<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(f());
+                println!("{}/{name}: ok (smoke)", self.suite);
+            }
+            Mode::Measure => {
+                // Warm-up and calibration: find an iteration count that
+                // fills the target time.
+                let mut iters = 1u64;
+                loop {
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        black_box(f());
+                    }
+                    let elapsed = start.elapsed();
+                    if elapsed >= self.target_time || iters >= 1 << 30 {
+                        let ns = elapsed.as_nanos() as f64 / iters as f64;
+                        println!("{}/{name}: {ns:.1} ns/iter ({iters} iters)", self.suite);
+                        break;
+                    }
+                    let grow = if elapsed.is_zero() {
+                        16
+                    } else {
+                        (self.target_time.as_nanos() / elapsed.as_nanos().max(1)) as u64 + 1
+                    };
+                    iters = iters.saturating_mul(grow.clamp(2, 16));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut b = Bench {
+            suite: "t",
+            mode: Mode::Smoke,
+            target_time: Duration::from_millis(1),
+        };
+        let mut calls = 0u32;
+        b.run("probe", || calls += 1);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn measure_mode_runs_many() {
+        let mut b = Bench {
+            suite: "t",
+            mode: Mode::Measure,
+            target_time: Duration::from_micros(50),
+        };
+        let mut calls = 0u64;
+        b.run("probe", || calls += 1);
+        assert!(calls > 1);
+    }
+}

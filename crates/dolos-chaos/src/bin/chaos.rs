@@ -1,0 +1,83 @@
+//! `chaos` — run a crash-consistency / fault-injection campaign across all
+//! controller designs and print the pass/fail matrix.
+//!
+//! ```text
+//! chaos [--seed N] [--schedules N] [--rounds N] [--writes N] [--keyspace N]
+//!       [--no-tamper] [--workload-txns N] [--json PATH] [--quiet]
+//! ```
+//!
+//! Exit status is 0 when every design met every obligation, 1 otherwise.
+
+use std::process::ExitCode;
+
+use dolos_chaos::{run_campaign, CampaignConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: chaos [--seed N] [--schedules N] [--rounds N] [--writes N] \
+         [--keyspace N] [--no-tamper] [--workload-txns N] [--json PATH] [--quiet]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut config = CampaignConfig::default();
+    let mut json_path: Option<String> = None;
+    let mut quiet = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => config.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--schedules" => config.schedules = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--rounds" => config.rounds = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--writes" => {
+                config.writes_per_round = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--keyspace" => config.keyspace = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--no-tamper" => config.tamper = false,
+            "--workload-txns" => {
+                config.workload_txns = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--json" => json_path = Some(value(&mut i)),
+            "--quiet" => quiet = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let report = run_campaign(&config);
+
+    if !quiet {
+        println!("{}", report.table().render());
+        for summary in &report.summaries {
+            if let Some(failure) = &summary.first_failure {
+                println!(
+                    "FAIL {}: {}\n  minimal reproducer: {}",
+                    summary.design, failure.message, failure.scenario
+                );
+            }
+        }
+    }
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("chaos: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        if !quiet {
+            println!("report written to {path}");
+        }
+    }
+
+    if report.all_pass() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,396 @@
+//! Chaos campaigns: sweeping schedules and workloads across every
+//! controller design and producing a pass/fail matrix.
+//!
+//! A campaign is the subsystem's top-level entry point (the `chaos` binary
+//! is a thin CLI over [`run_campaign`]). For each design it runs
+//!
+//! 1. `schedules` generated injection schedules (seeds derived from the
+//!    campaign seed, so the whole campaign replays from one number), and
+//! 2. a crash/recover/verify pass over a set of WHISPER workloads —
+//!    structured applications (B-tree, crit-bit tree, hashmap, and the
+//!    N-Store YCSB transaction mix) rather than raw line writes.
+//!
+//! The first failing schedule per design is shrunk ([`crate::shrink`])
+//! before it is reported, so the matrix carries a minimal reproducer, not a
+//! 100-write haystack.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use dolos_bench::report::Table;
+use dolos_core::{ControllerConfig, MiSuKind};
+use dolos_sim::rng::XorShift;
+use dolos_whisper::workloads::WorkloadKind;
+use dolos_whisper::PmEnv;
+
+use crate::driver::run_schedule;
+use crate::schedule::{Schedule, ScheduleConfig};
+use crate::shrink::shrink;
+
+/// Campaign geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignConfig {
+    /// Master seed; every schedule and workload seed derives from it.
+    pub seed: u64,
+    /// Injection schedules per design.
+    pub schedules: usize,
+    /// Crash rounds per schedule.
+    pub rounds: usize,
+    /// Persist operations attempted per round.
+    pub writes_per_round: usize,
+    /// Distinct line addresses written by schedule rounds.
+    pub keyspace: u64,
+    /// Whether schedules may tamper with NVM while crashed.
+    pub tamper: bool,
+    /// Transactions per workload before the crash (0 skips workloads).
+    pub workload_txns: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        Self {
+            seed: 1,
+            schedules: 6,
+            rounds: 3,
+            writes_per_round: 20,
+            keyspace: 48,
+            tamper: true,
+            workload_txns: 6,
+        }
+    }
+}
+
+/// The controller designs a campaign sweeps, in report order.
+pub fn campaign_designs() -> [ControllerConfig; 6] {
+    [
+        ControllerConfig::ideal(),
+        ControllerConfig::deferred(),
+        ControllerConfig::baseline(),
+        ControllerConfig::dolos(MiSuKind::Full),
+        ControllerConfig::dolos(MiSuKind::Partial),
+        ControllerConfig::dolos(MiSuKind::Post),
+    ]
+}
+
+/// The WHISPER workloads a campaign crash-tests.
+pub const CAMPAIGN_WORKLOADS: [WorkloadKind; 4] = [
+    WorkloadKind::Btree,
+    WorkloadKind::Ctree,
+    WorkloadKind::Hashmap,
+    WorkloadKind::NstoreYcsb,
+];
+
+/// A minimal reproducer for a failed obligation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureCase {
+    /// The shrunk failing schedule, rendered (or the workload scenario).
+    pub scenario: String,
+    /// The violated obligation.
+    pub message: String,
+}
+
+/// One design's results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DesignSummary {
+    /// Design name.
+    pub design: &'static str,
+    /// Injection schedules that passed.
+    pub schedules_passed: usize,
+    /// Injection schedules that failed.
+    pub schedules_failed: usize,
+    /// Workload crash/recover passes.
+    pub workloads_passed: usize,
+    /// Workload crash/recover failures.
+    pub workloads_failed: usize,
+    /// Tamper rounds ending in detection (the security property firing).
+    pub tampers_detected: usize,
+    /// Persist completions observed across all schedules.
+    pub commits: usize,
+    /// Lines differentially verified against the golden oracle.
+    pub lines_verified: usize,
+    /// The first failure, shrunk to a minimal reproducer.
+    pub first_failure: Option<FailureCase>,
+}
+
+impl DesignSummary {
+    /// Whether the design met every obligation.
+    pub fn pass(&self) -> bool {
+        self.schedules_failed == 0 && self.workloads_failed == 0
+    }
+}
+
+/// Full campaign results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignReport {
+    /// The master seed (reports with equal seeds and configs are equal).
+    pub seed: u64,
+    /// Per-design summaries, in [`campaign_designs`] order.
+    pub summaries: Vec<DesignSummary>,
+}
+
+impl CampaignReport {
+    /// Whether every design met every obligation.
+    pub fn all_pass(&self) -> bool {
+        self.summaries.iter().all(|s| s.pass())
+    }
+
+    /// Renders the pass/fail matrix.
+    pub fn table(&self) -> Table {
+        let mut table = Table::new(
+            &format!("chaos campaign (seed {})", self.seed),
+            &[
+                "design",
+                "schedules",
+                "workloads",
+                "detected",
+                "commits",
+                "verified",
+                "verdict",
+            ],
+        );
+        for s in &self.summaries {
+            table.row(vec![
+                s.design.to_string(),
+                format!(
+                    "{}/{}",
+                    s.schedules_passed,
+                    s.schedules_passed + s.schedules_failed
+                ),
+                format!(
+                    "{}/{}",
+                    s.workloads_passed,
+                    s.workloads_passed + s.workloads_failed
+                ),
+                s.tampers_detected.to_string(),
+                s.commits.to_string(),
+                s.lines_verified.to_string(),
+                if s.pass() { "PASS" } else { "FAIL" }.to_string(),
+            ]);
+        }
+        table
+    }
+
+    /// Serializes the report as JSON (hand-rolled: the workspace is
+    /// dependency-free by design).
+    pub fn to_json(&self) -> String {
+        fn escape(s: &str) -> String {
+            let mut out = String::with_capacity(s.len());
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        let mut json = String::new();
+        json.push_str(&format!(
+            "{{\n  \"seed\": {},\n  \"all_pass\": {},\n  \"designs\": [\n",
+            self.seed,
+            self.all_pass()
+        ));
+        for (i, s) in self.summaries.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"design\": \"{}\", \"pass\": {}, \"schedules_passed\": {}, \
+                 \"schedules_failed\": {}, \"workloads_passed\": {}, \"workloads_failed\": {}, \
+                 \"tampers_detected\": {}, \"commits\": {}, \"lines_verified\": {}",
+                escape(s.design),
+                s.pass(),
+                s.schedules_passed,
+                s.schedules_failed,
+                s.workloads_passed,
+                s.workloads_failed,
+                s.tampers_detected,
+                s.commits,
+                s.lines_verified,
+            ));
+            if let Some(f) = &s.first_failure {
+                json.push_str(&format!(
+                    ", \"failure\": {{\"scenario\": \"{}\", \"message\": \"{}\"}}",
+                    escape(&f.scenario),
+                    escape(&f.message)
+                ));
+            }
+            json.push('}');
+            if i + 1 < self.summaries.len() {
+                json.push(',');
+            }
+            json.push('\n');
+        }
+        json.push_str("  ]\n}\n");
+        json
+    }
+}
+
+/// Runs one workload through setup → transactions → crash → recover →
+/// verify, converting verification panics into recorded failures.
+fn run_workload_case(
+    config: &ControllerConfig,
+    kind: WorkloadKind,
+    txns: usize,
+    seed: u64,
+) -> Result<(), String> {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut env = PmEnv::new(config.clone());
+        let mut workload = kind.build();
+        workload.setup(&mut env);
+        let mut rng = XorShift::new(seed);
+        for _ in 0..txns {
+            workload.transaction(&mut env, 256, &mut rng);
+        }
+        env.crash();
+        env.recover().map_err(|e| e.to_string())?;
+        workload.verify(&mut env);
+        Ok(())
+    }));
+    match outcome {
+        Ok(result) => result,
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "workload verification panicked".to_string());
+            Err(msg)
+        }
+    }
+}
+
+/// Runs the full campaign. Deterministic: the same config always produces
+/// the same report, byte for byte.
+pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
+    let schedule_config = ScheduleConfig {
+        rounds: config.rounds,
+        writes_per_round: config.writes_per_round,
+        keyspace: config.keyspace,
+        tamper: config.tamper,
+    };
+    // Derive schedule and workload seeds once, shared by every design, so
+    // the matrix compares designs on identical scenarios.
+    let mut seeder = XorShift::new(config.seed ^ 0x0DD5_CA05);
+    let schedule_seeds: Vec<u64> = (0..config.schedules).map(|_| seeder.next_u64()).collect();
+    let workload_seeds: Vec<u64> = CAMPAIGN_WORKLOADS
+        .iter()
+        .map(|_| seeder.next_u64())
+        .collect();
+
+    let summaries = campaign_designs()
+        .iter()
+        .map(|design| {
+            let mut summary = DesignSummary {
+                design: design.kind.name(),
+                schedules_passed: 0,
+                schedules_failed: 0,
+                workloads_passed: 0,
+                workloads_failed: 0,
+                tampers_detected: 0,
+                commits: 0,
+                lines_verified: 0,
+                first_failure: None,
+            };
+            for &seed in &schedule_seeds {
+                let schedule = Schedule::generate(seed, &schedule_config);
+                let report = run_schedule(design, &schedule);
+                summary.commits += report.commits;
+                summary.lines_verified += report.lines_verified;
+                summary.tampers_detected += report
+                    .rounds
+                    .iter()
+                    .filter(|r| {
+                        matches!(
+                            r.outcome,
+                            crate::driver::RoundOutcome::TamperDetected { .. }
+                        )
+                    })
+                    .count();
+                if report.pass {
+                    summary.schedules_passed += 1;
+                } else {
+                    summary.schedules_failed += 1;
+                    if summary.first_failure.is_none() {
+                        let minimal = shrink(design, &schedule);
+                        summary.first_failure = Some(FailureCase {
+                            scenario: minimal.to_string(),
+                            message: report.failure.unwrap_or_default(),
+                        });
+                    }
+                }
+            }
+            if config.workload_txns > 0 {
+                for (kind, &seed) in CAMPAIGN_WORKLOADS.iter().zip(&workload_seeds) {
+                    match run_workload_case(design, *kind, config.workload_txns, seed) {
+                        Ok(()) => summary.workloads_passed += 1,
+                        Err(message) => {
+                            summary.workloads_failed += 1;
+                            if summary.first_failure.is_none() {
+                                summary.first_failure = Some(FailureCase {
+                                    scenario: format!(
+                                        "workload {kind} x{} txns, seed {seed:#x}",
+                                        config.workload_txns
+                                    ),
+                                    message,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            summary
+        })
+        .collect();
+
+    CampaignReport {
+        seed: config.seed,
+        summaries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CampaignConfig {
+        CampaignConfig {
+            seed: 42,
+            schedules: 2,
+            rounds: 2,
+            writes_per_round: 10,
+            keyspace: 24,
+            tamper: true,
+            workload_txns: 2,
+        }
+    }
+
+    #[test]
+    fn small_campaign_passes_everywhere() {
+        let report = run_campaign(&small());
+        for s in &report.summaries {
+            assert!(s.pass(), "{}: {:?}", s.design, s.first_failure);
+        }
+        assert!(report.all_pass());
+        assert_eq!(report.summaries.len(), 6);
+    }
+
+    #[test]
+    fn campaigns_are_byte_for_byte_reproducible() {
+        let a = run_campaign(&small());
+        let b = run_campaign(&small());
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn json_is_well_formed_enough_to_spot_check() {
+        let report = run_campaign(&CampaignConfig {
+            schedules: 1,
+            workload_txns: 0,
+            ..small()
+        });
+        let json = report.to_json();
+        assert!(json.contains("\"seed\": 42"));
+        assert!(json.contains("\"design\": \"dolos-partial\""));
+        assert!(json.ends_with("}\n"));
+    }
+}

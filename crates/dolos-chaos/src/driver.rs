@@ -1,0 +1,364 @@
+//! Executes one [`Schedule`] against one controller configuration and
+//! checks every crash-consistency obligation along the way.
+//!
+//! The contract per round:
+//!
+//! * a clean (untampered) crash must recover: `recover()` succeeds —
+//!   restarting once if the schedule injects a nested crash — `audit()` is
+//!   clean, and the [`GoldenOracle`] differential check passes (committed
+//!   writes exact, the one in-flight write old-or-new);
+//! * a tampered crash must not corrupt silently: either recovery/audit
+//!   detects it (a [`SecurityError`] — the run ends there, **pass**), or
+//!   the corruption was harmless and the oracle still verifies. A secure
+//!   design that recovers "cleanly" into diverged data **fails**;
+//! * the non-secure ideal design carries no detection obligation: observed
+//!   corruption under tampering is recorded but does not fail the run.
+
+use dolos_core::inject::{FaultPlan, InjectionPoint};
+use dolos_core::{ControllerConfig, ControllerKind, SecureMemorySystem, SecurityError};
+use dolos_nvm::{Line, NvmDevice};
+use dolos_secmem::layout::{MetaRegion, MetadataLayout};
+use dolos_sim::rng::XorShift;
+use dolos_sim::Cycle;
+use dolos_whisper::oracle::GoldenOracle;
+
+use crate::schedule::{Schedule, TamperSpec};
+
+/// What happened in one executed round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RoundOutcome {
+    /// The round crashed (injected or plain), recovered and verified clean.
+    Clean {
+        /// The injection point that fired, if the armed plan fired.
+        fired: Option<InjectionPoint>,
+        /// WPQ entries replayed by recovery.
+        replayed: usize,
+        /// Whether the scheduled nested crash fired during recovery.
+        nested_fired: bool,
+    },
+    /// Corruption was applied and recovery or audit detected it. Terminal.
+    TamperDetected {
+        /// The detection error, rendered.
+        error: String,
+    },
+    /// Corruption was applied, nothing detected it, and the differential
+    /// check still passed: the corruption hit dead state. Terminal.
+    TamperHarmless,
+    /// Corruption was applied, nothing detected it, and the data diverged.
+    /// Terminal; a failure for secure designs, recorded for the ideal one.
+    SilentCorruption {
+        /// The divergence, rendered.
+        mismatch: String,
+    },
+    /// The scheduled tamper could not be applied (its target region had no
+    /// resident lines); the round was verified as a clean crash instead.
+    TamperSkipped {
+        /// The injection point that fired, if any.
+        fired: Option<InjectionPoint>,
+    },
+}
+
+/// Result of one round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundResult {
+    /// Index of the round within the schedule.
+    pub index: usize,
+    /// What happened.
+    pub outcome: RoundOutcome,
+}
+
+/// Result of one full schedule run against one design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunReport {
+    /// Design name (stable, from [`ControllerKind::name`]).
+    pub design: &'static str,
+    /// Whether every obligation held.
+    pub pass: bool,
+    /// First violated obligation, rendered, when `pass` is false.
+    pub failure: Option<String>,
+    /// Per-round outcomes, in execution order (stops at a terminal round
+    /// or the first failure).
+    pub rounds: Vec<RoundResult>,
+    /// Persist operations whose completion the core observed.
+    pub commits: usize,
+    /// Total lines differentially verified across all rounds.
+    pub lines_verified: usize,
+}
+
+fn fill_line(rng: &mut XorShift) -> Line {
+    let mut data = [0u8; 64];
+    for chunk in data.chunks_mut(8) {
+        chunk.copy_from_slice(&rng.next_u64().to_le_bytes());
+    }
+    data
+}
+
+/// Applies a tamper while the system is crashed. Returns `false` if the
+/// spec's target had no resident lines to corrupt.
+fn apply_tamper(
+    nvm: &mut NvmDevice,
+    layout: &MetadataLayout,
+    spec: TamperSpec,
+    dump_snapshot: &[(dolos_nvm::LineAddr, Line)],
+) -> bool {
+    match spec {
+        TamperSpec::FlipBit { region, pick, bit } => {
+            let (start, end) = layout.region_range(region);
+            let resident = nvm.resident_lines_in(start, end);
+            if resident.is_empty() {
+                return false;
+            }
+            let addr = resident[(pick % resident.len() as u64) as usize];
+            nvm.flip_bit(addr, bit);
+            true
+        }
+        TamperSpec::TornDump { drop } => {
+            if dump_snapshot.is_empty() || drop == 0 {
+                return false;
+            }
+            let n = drop.min(dump_snapshot.len());
+            // The last `n` lines of the dump burst never left the buffer:
+            // they still hold the previous epoch's contents.
+            nvm.restore_lines(&dump_snapshot[dump_snapshot.len() - n..]);
+            true
+        }
+    }
+}
+
+/// Runs `schedule` against a fresh system built from `config`.
+pub fn run_schedule(config: &ControllerConfig, schedule: &Schedule) -> RunReport {
+    let design = config.kind.name();
+    let secure = !matches!(config.kind, ControllerKind::IdealNonSecure);
+    let mut sys = SecureMemorySystem::new(config.clone());
+    let layout = *sys.layout();
+    let mut rng = XorShift::new(schedule.seed);
+    let mut oracle = GoldenOracle::new();
+    let mut report = RunReport {
+        design,
+        pass: true,
+        failure: None,
+        rounds: Vec::new(),
+        commits: 0,
+        lines_verified: 0,
+    };
+    let fail = |report: &mut RunReport, index: usize, message: String| {
+        report.pass = false;
+        report.failure = Some(format!("round {index}: {message}"));
+    };
+
+    for (index, round) in schedule.rounds.iter().enumerate() {
+        // Stale-epoch snapshot for a scheduled torn dump, taken before this
+        // round's crash overwrites the region.
+        let dump_snapshot = if matches!(round.tamper, Some(TamperSpec::TornDump { .. })) {
+            let (start, end) = layout.region_range(MetaRegion::WpqDump);
+            sys.nvm().snapshot_range(start, end)
+        } else {
+            Vec::new()
+        };
+
+        // --- write burst, possibly cut short by the armed fault ---
+        if let Some((point, nth)) = round.fault {
+            sys.arm_fault(FaultPlan::new(point, nth));
+        }
+        let mut t = Cycle::ZERO;
+        let mut fired = None;
+        for _ in 0..round.writes {
+            let addr = rng.next_below(schedule.keyspace) * 64;
+            let data = fill_line(&mut rng);
+            oracle.stage(addr, data);
+            match sys.try_persist_write(t, addr, &data) {
+                Ok(done) => {
+                    t = done;
+                    oracle.commit();
+                    report.commits += 1;
+                }
+                Err(SecurityError::PowerInterrupted { point }) => {
+                    // The insert-point fault fires after the WPQ accepted
+                    // the line: that persist completed.
+                    if point == InjectionPoint::WpqInsert {
+                        oracle.commit();
+                        report.commits += 1;
+                    }
+                    fired = Some(point);
+                    break;
+                }
+                Err(e) => {
+                    fail(&mut report, index, format!("persist failed: {e}"));
+                    return report;
+                }
+            }
+        }
+        sys.disarm_fault();
+        if round.quiesce && !sys.is_crashed() {
+            // Drain the queue completely so the crash dumps nothing and
+            // every write below sits in fully settled NVM state.
+            t = sys.quiesce(t);
+        }
+        if !sys.is_crashed() {
+            // Plan never fired (or none armed): plain power failure with
+            // the WPQ still loaded.
+            sys.crash(t);
+        }
+
+        // --- adversarial window: the attacker holds the device ---
+        let tampered = match round.tamper {
+            Some(spec) => apply_tamper(sys.nvm_mut(), &layout, spec, &dump_snapshot),
+            None => false,
+        };
+
+        // --- boot: recover (restarting once on a nested crash) ---
+        if let Some(nth) = round.nested {
+            sys.arm_fault(FaultPlan::new(InjectionPoint::RecoveryReplay, nth));
+        }
+        let mut nested_fired = false;
+        let mut recovery = sys.recover();
+        if matches!(
+            recovery,
+            Err(SecurityError::PowerInterrupted {
+                point: InjectionPoint::RecoveryReplay,
+            })
+        ) {
+            nested_fired = true;
+            recovery = sys.recover();
+        }
+        sys.disarm_fault();
+
+        // --- verify the round's obligations ---
+        let (detected, replayed) = match recovery {
+            Ok(r) => match sys.audit() {
+                Ok(_) => (None, r.wpq_entries_replayed),
+                Err(e) => (Some(e), r.wpq_entries_replayed),
+            },
+            Err(e) => (Some(e), 0),
+        };
+        match detected {
+            Some(error) => {
+                if tampered {
+                    // Attack detected: the security property held. Terminal —
+                    // the machine refuses to come up.
+                    report.rounds.push(RoundResult {
+                        index,
+                        outcome: RoundOutcome::TamperDetected {
+                            error: error.to_string(),
+                        },
+                    });
+                    return report;
+                }
+                fail(&mut report, index, format!("spurious detection: {error}"));
+                return report;
+            }
+            None => {
+                match oracle.verify(&mut sys) {
+                    Ok(n) => {
+                        report.lines_verified += n;
+                        let outcome = if tampered {
+                            RoundOutcome::TamperHarmless
+                        } else if round.tamper.is_some() {
+                            RoundOutcome::TamperSkipped { fired }
+                        } else {
+                            RoundOutcome::Clean {
+                                fired,
+                                replayed,
+                                nested_fired,
+                            }
+                        };
+                        let terminal = tampered;
+                        report.rounds.push(RoundResult { index, outcome });
+                        if terminal {
+                            return report;
+                        }
+                    }
+                    Err(mismatch) => {
+                        if tampered && !secure {
+                            // The non-secure design has no detection
+                            // obligation; record the corruption.
+                            report.rounds.push(RoundResult {
+                                index,
+                                outcome: RoundOutcome::SilentCorruption {
+                                    mismatch: mismatch.to_string(),
+                                },
+                            });
+                            return report;
+                        }
+                        let what = if tampered {
+                            "silent corruption"
+                        } else {
+                            "divergence after clean recovery"
+                        };
+                        fail(&mut report, index, format!("{what}: {mismatch}"));
+                        return report;
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::ScheduleConfig;
+    use dolos_core::MiSuKind;
+
+    #[test]
+    fn clean_schedules_pass_on_every_design() {
+        let config = ScheduleConfig {
+            rounds: 3,
+            writes_per_round: 16,
+            keyspace: 32,
+            tamper: false,
+        };
+        let schedule = Schedule::generate(11, &config);
+        for design in [
+            ControllerConfig::ideal(),
+            ControllerConfig::baseline(),
+            ControllerConfig::deferred(),
+            ControllerConfig::dolos(MiSuKind::Full),
+            ControllerConfig::dolos(MiSuKind::Partial),
+            ControllerConfig::dolos(MiSuKind::Post),
+        ] {
+            let report = run_schedule(&design, &schedule);
+            assert!(report.pass, "{}: {:?}", report.design, report.failure);
+            assert_eq!(report.rounds.len(), 3, "{}", report.design);
+        }
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let schedule = Schedule::generate(77, &ScheduleConfig::default());
+        let config = ControllerConfig::dolos(MiSuKind::Partial);
+        let a = run_schedule(&config, &schedule);
+        let b = run_schedule(&config, &schedule);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dump_tamper_is_detected_on_dolos() {
+        let schedule = Schedule {
+            seed: 3,
+            keyspace: 16,
+            rounds: vec![crate::schedule::Round {
+                writes: 8,
+                fault: None,
+                quiesce: false,
+                nested: None,
+                tamper: Some(TamperSpec::FlipBit {
+                    region: MetaRegion::WpqDump,
+                    pick: 0,
+                    bit: 9,
+                }),
+            }],
+        };
+        let report = run_schedule(&ControllerConfig::dolos(MiSuKind::Partial), &schedule);
+        assert!(report.pass, "{:?}", report.failure);
+        assert!(
+            matches!(
+                report.rounds.last().map(|r| &r.outcome),
+                Some(RoundOutcome::TamperDetected { .. })
+            ),
+            "outcome: {:?}",
+            report.rounds
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! dolos-chaos: deterministic crash-consistency and adversarial
+//! fault-injection harness for the Dolos secure-memory simulator.
+//!
+//! The crate turns the functional simulator into a falsifier. Where the
+//! bench crates ask "how fast is each design?", chaos asks "does each
+//! design actually keep its crash-consistency and integrity promises?" —
+//! and it asks adversarially:
+//!
+//! * [`schedule`] — seed-reproducible scenarios: bursts of persist writes,
+//!   power failures injected at specific pipeline points (mid-WPQ-insert,
+//!   mid-Mi-SU MAC, mid-Ma-SU drain, during recovery itself), torn ADR
+//!   dumps and NVM bit flips applied while the machine is dark;
+//! * [`driver`] — executes one schedule against one controller design and
+//!   checks every obligation with a golden in-order oracle
+//!   ([`dolos_whisper::oracle::GoldenOracle`]): committed writes must
+//!   survive exactly, the one in-flight write may be old-or-new, and
+//!   tampering must be *detected* (a [`dolos_core::SecurityError`]) or
+//!   provably harmless — never silent corruption;
+//! * [`shrink`] — greedily minimizes a failing schedule to the smallest
+//!   reproducer, property-testing style;
+//! * [`campaign`] — sweeps schedules and WHISPER workloads across all six
+//!   controller designs and emits a pass/fail matrix plus a JSON report.
+//!
+//! Everything is deterministic: one seed replays the entire campaign.
+//! The `chaos` binary is the CLI entry point.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod driver;
+pub mod schedule;
+pub mod shrink;
+
+pub use campaign::{run_campaign, CampaignConfig, CampaignReport, DesignSummary, FailureCase};
+pub use driver::{run_schedule, RoundOutcome, RoundResult, RunReport};
+pub use schedule::{Round, Schedule, ScheduleConfig, TamperSpec};
+pub use shrink::shrink;

@@ -1,0 +1,255 @@
+//! Injection schedules: deterministic, seed-reproducible descriptions of one
+//! chaos scenario.
+//!
+//! A [`Schedule`] is pure data — which writes to issue, where to cut power,
+//! what to corrupt while the machine is dark — so the same schedule against
+//! the same controller configuration replays bit-for-bit. That is what makes
+//! failing scenarios shrinkable ([`crate::shrink`]) and campaign reports
+//! reproducible.
+
+use core::fmt;
+
+use dolos_core::inject::InjectionPoint;
+use dolos_secmem::layout::MetaRegion;
+use dolos_sim::rng::XorShift;
+
+/// Adversarial NVM corruption applied while the system is crashed (between
+/// the ADR dump and the next boot — the window in which the threat model
+/// gives the attacker the device).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TamperSpec {
+    /// Flip one bit of a resident line in a metadata region. `pick` selects
+    /// among the region's resident lines (modulo their count at apply
+    /// time); `bit` wraps within the 512-bit line.
+    FlipBit {
+        /// The region to corrupt.
+        region: MetaRegion,
+        /// Resident-line selector.
+        pick: u64,
+        /// Bit index within the chosen line.
+        bit: u32,
+    },
+    /// Tear the ADR dump: restore the trailing `drop` lines of the WPQ dump
+    /// region from the *previous* epoch's snapshot, modeling a reserve-power
+    /// burst that did not finish.
+    TornDump {
+        /// Number of trailing dump lines that revert to the old epoch.
+        drop: usize,
+    },
+}
+
+impl fmt::Display for TamperSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TamperSpec::FlipBit { region, pick, bit } => {
+                write!(f, "flip({region},{pick},b{bit})")
+            }
+            TamperSpec::TornDump { drop } => write!(f, "torn({drop})"),
+        }
+    }
+}
+
+/// One crash round: a burst of persist writes, a power failure (injected at
+/// a pipeline point or plain at end-of-burst), optional corruption while
+/// dark, optional nested crash during recovery, then boot and verify.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Round {
+    /// Persist operations to attempt this round (a firing fault cuts the
+    /// burst short).
+    pub writes: usize,
+    /// Armed power-failure plan `(point, occurrence)`; `None` crashes at
+    /// the end of the burst with the WPQ still loaded.
+    pub fault: Option<(InjectionPoint, u64)>,
+    /// Drain the WPQ completely before the crash (ignored when the fault
+    /// fires first). A quiesced crash dumps an empty queue, so tampering
+    /// lands on fully settled state that recovery will not rewrite.
+    pub quiesce: bool,
+    /// Also cut power during recovery, before the nth replayed entry.
+    pub nested: Option<u64>,
+    /// Corruption to apply while crashed.
+    pub tamper: Option<TamperSpec>,
+}
+
+impl fmt::Display for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.writes)?;
+        if self.quiesce {
+            f.write_str("+q")?;
+        }
+        if let Some((point, nth)) = self.fault {
+            write!(f, "@{point}#{nth}")?;
+        }
+        if let Some(nth) = self.nested {
+            write!(f, "+nested#{nth}")?;
+        }
+        if let Some(t) = self.tamper {
+            write!(f, "+{t}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Geometry of generated schedules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleConfig {
+    /// Crash rounds per schedule.
+    pub rounds: usize,
+    /// Persist operations attempted per round.
+    pub writes_per_round: usize,
+    /// Distinct line addresses written (addresses are `0..keyspace` lines).
+    pub keyspace: u64,
+    /// Whether the final round may corrupt NVM while crashed.
+    pub tamper: bool,
+}
+
+impl Default for ScheduleConfig {
+    fn default() -> Self {
+        Self {
+            rounds: 4,
+            writes_per_round: 24,
+            keyspace: 64,
+            tamper: true,
+        }
+    }
+}
+
+/// A complete, replayable chaos scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// Seed driving the write sequence (addresses and payloads).
+    pub seed: u64,
+    /// Distinct line addresses written.
+    pub keyspace: u64,
+    /// The crash rounds, in order.
+    pub rounds: Vec<Round>,
+}
+
+impl Schedule {
+    /// Generates a schedule from a seed. The same `(seed, config)` pair
+    /// always yields the same schedule.
+    ///
+    /// Tampering, when enabled, lands only on the final round: a detected
+    /// tamper ends the run, so earlier tampers would shadow later rounds.
+    /// The `Shadow` region is excluded — corrupting stale shadow entries is
+    /// indistinguishable from benign garbage and carries no detection
+    /// obligation.
+    pub fn generate(seed: u64, config: &ScheduleConfig) -> Self {
+        let mut rng = XorShift::new(seed ^ 0xC4A0_5EED);
+        let points = [
+            InjectionPoint::PersistStart,
+            InjectionPoint::MisuProtect,
+            InjectionPoint::WpqInsert,
+            InjectionPoint::MasuDrain,
+        ];
+        let regions = [
+            MetaRegion::Data,
+            MetaRegion::Counters,
+            MetaRegion::Macs,
+            MetaRegion::WpqDump,
+        ];
+        let rounds = (0..config.rounds.max(1))
+            .map(|i| {
+                let writes = 1 + rng.next_below(config.writes_per_round.max(1) as u64) as usize;
+                let fault = rng.chance(0.75).then(|| {
+                    let point = points[rng.next_below(points.len() as u64) as usize];
+                    (point, rng.next_below(writes as u64 * 2))
+                });
+                let nested = rng.chance(0.25).then(|| rng.next_below(8));
+                let last = i + 1 == config.rounds.max(1);
+                // Tamper rounds sometimes quiesce first, so campaigns cover
+                // both fresh-dump and settled-state corruption.
+                let quiesce = config.tamper && last && rng.chance(0.5);
+                let tamper = (config.tamper && last).then(|| {
+                    if rng.chance(0.3) {
+                        TamperSpec::TornDump {
+                            drop: 1 + rng.next_below(8) as usize,
+                        }
+                    } else {
+                        TamperSpec::FlipBit {
+                            region: regions[rng.next_below(regions.len() as u64) as usize],
+                            pick: rng.next_u64(),
+                            bit: rng.next_below(512) as u32,
+                        }
+                    }
+                });
+                Round {
+                    writes,
+                    fault,
+                    quiesce,
+                    nested,
+                    tamper,
+                }
+            })
+            .collect();
+        Self {
+            seed,
+            keyspace: config.keyspace.max(1),
+            rounds,
+        }
+    }
+
+    /// Total persist operations the schedule attempts.
+    pub fn total_writes(&self) -> usize {
+        self.rounds.iter().map(|r| r.writes).sum()
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seed={};keys={};[", self.seed, self.keyspace)?;
+        for (i, round) in self.rounds.iter().enumerate() {
+            if i > 0 {
+                f.write_str(";")?;
+            }
+            write!(f, "{round}")?;
+        }
+        f.write_str("]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = ScheduleConfig::default();
+        let a = Schedule::generate(42, &config);
+        let b = Schedule::generate(42, &config);
+        assert_eq!(a, b);
+        assert_ne!(a, Schedule::generate(43, &config));
+    }
+
+    #[test]
+    fn tamper_lands_only_on_the_final_round() {
+        let config = ScheduleConfig {
+            rounds: 5,
+            ..ScheduleConfig::default()
+        };
+        for seed in 0..50 {
+            let s = Schedule::generate(seed, &config);
+            for round in &s.rounds[..s.rounds.len() - 1] {
+                assert!(round.tamper.is_none(), "seed {seed}: early tamper");
+            }
+        }
+    }
+
+    #[test]
+    fn display_is_compact_and_round_trips_the_shape() {
+        let s = Schedule {
+            seed: 7,
+            keyspace: 32,
+            rounds: vec![Round {
+                writes: 9,
+                fault: Some((InjectionPoint::WpqInsert, 3)),
+                quiesce: true,
+                nested: Some(1),
+                tamper: Some(TamperSpec::TornDump { drop: 2 }),
+            }],
+        };
+        assert_eq!(
+            s.to_string(),
+            "seed=7;keys=32;[w9+q@wpq-insert#3+nested#1+torn(2)]"
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! Schedule shrinking: minimizes a failing injection schedule.
+//!
+//! Because schedules are pure data and runs are deterministic, a failing
+//! schedule can be shrunk the way property-testing frameworks shrink
+//! counterexamples: propose a structurally smaller schedule, re-run it, and
+//! keep it if it still fails. The result is the smallest scenario this
+//! greedy pass can find — usually one round with a handful of writes — which
+//! is what a human wants to look at when a design breaks.
+
+use dolos_core::ControllerConfig;
+
+use crate::driver::run_schedule;
+use crate::schedule::Schedule;
+
+/// One shrinking step: every structurally smaller candidate derived from
+/// `schedule`, most aggressive first.
+fn candidates(schedule: &Schedule) -> Vec<Schedule> {
+    let mut out = Vec::new();
+    // Drop whole rounds (keep at least one).
+    if schedule.rounds.len() > 1 {
+        for i in 0..schedule.rounds.len() {
+            let mut s = schedule.clone();
+            s.rounds.remove(i);
+            out.push(s);
+        }
+    }
+    // Simplify individual rounds.
+    for i in 0..schedule.rounds.len() {
+        let round = &schedule.rounds[i];
+        if round.writes > 1 {
+            let mut s = schedule.clone();
+            s.rounds[i].writes = round.writes / 2;
+            out.push(s);
+        }
+        if round.nested.is_some() {
+            let mut s = schedule.clone();
+            s.rounds[i].nested = None;
+            out.push(s);
+        }
+        if round.quiesce {
+            let mut s = schedule.clone();
+            s.rounds[i].quiesce = false;
+            out.push(s);
+        }
+        if round.tamper.is_some() {
+            let mut s = schedule.clone();
+            s.rounds[i].tamper = None;
+            out.push(s);
+        }
+        if round.fault.is_some() {
+            let mut s = schedule.clone();
+            s.rounds[i].fault = None;
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// Greedily shrinks `schedule` while it keeps failing against `config`.
+///
+/// If the input does not fail in the first place it is returned unchanged —
+/// shrinking is only meaningful for reproducible failures.
+pub fn shrink(config: &ControllerConfig, schedule: &Schedule) -> Schedule {
+    let fails = |s: &Schedule| !run_schedule(config, s).pass;
+    if !fails(schedule) {
+        return schedule.clone();
+    }
+    let mut current = schedule.clone();
+    loop {
+        let mut improved = false;
+        for candidate in candidates(&current) {
+            if fails(&candidate) {
+                current = candidate;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return current;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{Round, ScheduleConfig, TamperSpec};
+    use dolos_secmem::layout::MetaRegion;
+
+    #[test]
+    fn passing_schedules_are_returned_unchanged() {
+        let schedule = Schedule::generate(
+            5,
+            &ScheduleConfig {
+                rounds: 2,
+                writes_per_round: 8,
+                keyspace: 16,
+                tamper: false,
+            },
+        );
+        let config = ControllerConfig::dolos(dolos_core::MiSuKind::Full);
+        assert_eq!(shrink(&config, &schedule), schedule);
+    }
+
+    #[test]
+    fn tampered_runs_on_the_ideal_design_shrink_to_the_essence() {
+        // The ideal non-secure design silently absorbs a data-region bit
+        // flip; that is recorded, not failed, so this run *passes* and must
+        // come back unchanged. The shrinker only minimizes obligations that
+        // broke.
+        let schedule = Schedule {
+            seed: 9,
+            keyspace: 8,
+            rounds: vec![
+                Round {
+                    writes: 12,
+                    fault: None,
+                    quiesce: false,
+                    nested: None,
+                    tamper: None,
+                },
+                Round {
+                    writes: 12,
+                    fault: None,
+                    quiesce: false,
+                    nested: None,
+                    tamper: Some(TamperSpec::FlipBit {
+                        region: MetaRegion::Data,
+                        pick: 0,
+                        bit: 0,
+                    }),
+                },
+            ],
+        };
+        let config = ControllerConfig::ideal();
+        let report = run_schedule(&config, &schedule);
+        assert!(report.pass, "{:?}", report.failure);
+        assert_eq!(shrink(&config, &schedule), schedule);
+    }
+}

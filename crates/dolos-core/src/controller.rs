@@ -30,6 +30,7 @@ use dolos_sim::Cycle;
 
 use crate::config::{ControllerConfig, ControllerKind};
 use crate::error::SecurityError;
+use crate::inject::{FaultPlan, InjectionPoint};
 use crate::masu::{MajorSecurityUnit, MasuRecovery};
 use crate::misu::MinorSecurityUnit;
 
@@ -88,6 +89,11 @@ pub struct SecureMemorySystem {
     persist_latency: Running,
     persist_histogram: Histogram,
     read_wpq_hits: u64,
+    /// Armed fault-injection plan (chaos testing); `None` in normal runs.
+    fault: Option<FaultPlan>,
+    /// A fault fired inside the background drain engine; the next fallible
+    /// operation converts it into a crash.
+    pending_power_failure: Option<InjectionPoint>,
 }
 
 impl SecureMemorySystem {
@@ -142,7 +148,44 @@ impl SecureMemorySystem {
             persist_latency: Running::new(),
             persist_histogram: Histogram::new(),
             read_wpq_hits: 0,
+            fault: None,
+            pending_power_failure: None,
         }
+    }
+
+    /// Arms a one-shot power-failure plan. The next time execution reaches
+    /// the plan's injection point for the configured occurrence, the system
+    /// crashes exactly there and the interrupted fallible operation returns
+    /// [`SecurityError::PowerInterrupted`].
+    ///
+    /// Replaces any previously armed plan.
+    pub fn arm_fault(&mut self, plan: FaultPlan) {
+        self.fault = Some(plan);
+    }
+
+    /// Disarms and returns the armed plan (with its occurrence counters),
+    /// if any.
+    pub fn disarm_fault(&mut self) -> Option<FaultPlan> {
+        self.fault.take()
+    }
+
+    /// The currently armed plan, if any.
+    pub fn fault(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
+    }
+
+    fn fault_fires(&mut self, point: InjectionPoint) -> bool {
+        self.fault.as_mut().is_some_and(|p| p.observe(point))
+    }
+
+    /// Converts a power failure that fired inside the drain engine into a
+    /// crash at `t`.
+    fn take_power_failure(&mut self, t: Cycle) -> Result<(), SecurityError> {
+        if let Some(point) = self.pending_power_failure.take() {
+            self.crash(t);
+            return Err(SecurityError::PowerInterrupted { point });
+        }
+        Ok(())
     }
 
     /// The active configuration.
@@ -206,6 +249,11 @@ impl SecureMemorySystem {
     /// Ma-SU engine is pipelined, so starts are paced by the engine model,
     /// not by the previous entry's completion.
     fn advance(&mut self, now: Cycle) {
+        // A power failure already fired in the engine: the machine is dark
+        // until a fallible operation converts it into a crash.
+        if self.pending_power_failure.is_some() {
+            return;
+        }
         // Start up to the engine's pipeline depth: deeper entries stay live
         // (and coalescible) until a pipeline slot frees.
         while self.inflight.len() < self.drain_depth {
@@ -221,6 +269,13 @@ impl SecureMemorySystem {
             // counter-cache miss inflates one entry's completion.
             self.last_drain_done = self.last_drain_done.max(done);
             self.inflight.push_back((entry.slot, self.last_drain_done));
+            // Mid-drain fault: the entry is applied to NVM but not yet
+            // cleared from the WPQ, so the ADR dump will carry it again and
+            // recovery replays on top of the partial application.
+            if self.fault_fires(InjectionPoint::MasuDrain) {
+                self.pending_power_failure = Some(InjectionPoint::MasuDrain);
+                return;
+            }
         }
         loop {
             match self.inflight.front() {
@@ -240,6 +295,10 @@ impl SecureMemorySystem {
                             let done = self.drain_one(entry.slot, entry.addr, entry.payload, ready);
                             self.last_drain_done = self.last_drain_done.max(done);
                             self.inflight.push_back((entry.slot, self.last_drain_done));
+                            if self.fault_fires(InjectionPoint::MasuDrain) {
+                                self.pending_power_failure = Some(InjectionPoint::MasuDrain);
+                                return;
+                            }
                         }
                     }
                 }
@@ -269,6 +328,30 @@ impl SecureMemorySystem {
     /// Panics if the system is crashed or the address is not 64-byte
     /// aligned / outside the protected region.
     pub fn persist_write(&mut self, now: Cycle, addr: u64, data: &Line) -> Cycle {
+        self.try_persist_write(now, addr, data)
+            .expect("persist interrupted by an injected power failure")
+    }
+
+    /// Fallible variant of [`Self::persist_write`] for fault-injection runs:
+    /// an armed [`FaultPlan`] firing mid-persist crashes the system at that
+    /// exact microarchitectural instant and surfaces as
+    /// [`SecurityError::PowerInterrupted`]. With no plan armed this never
+    /// returns an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SecurityError::PowerInterrupted`] when an injected power
+    /// failure fired; the system is then crashed and must be recovered.
+    ///
+    /// # Panics
+    ///
+    /// Same alignment/region/crashed panics as [`Self::persist_write`].
+    pub fn try_persist_write(
+        &mut self,
+        now: Cycle,
+        addr: u64,
+        data: &Line,
+    ) -> Result<Cycle, SecurityError> {
         assert!(!self.crashed, "persist on a crashed system");
         let addr = LineAddr::new(addr).expect("persist address must be line-aligned");
         assert!(
@@ -276,7 +359,14 @@ impl SecureMemorySystem {
             "address outside protected region"
         );
         self.persists += 1;
+        if self.fault_fires(InjectionPoint::PersistStart) {
+            self.crash(now);
+            return Err(SecurityError::PowerInterrupted {
+                point: InjectionPoint::PersistStart,
+            });
+        }
         self.advance(now);
+        self.take_power_failure(now)?;
         let mut t = now;
 
         // Pre-WPQ security (baseline): the whole pipeline runs before the
@@ -287,6 +377,7 @@ impl SecureMemorySystem {
                 let (done, ciphertext) = masu.secure_write(t, addr, data, &mut self.nvm, false);
                 t = done;
                 self.advance(t);
+                self.take_power_failure(t)?;
                 Some(ciphertext)
             }
             _ => None,
@@ -299,6 +390,7 @@ impl SecureMemorySystem {
                 if misu.is_busy(t) {
                     t = misu.busy_until();
                     self.advance(t);
+                    self.take_power_failure(t)?;
                     continue;
                 }
             }
@@ -315,9 +407,22 @@ impl SecureMemorySystem {
                 let free_at = self.next_slot_free_at();
                 t = t.max(free_at);
                 self.advance(t);
+                self.take_power_failure(t)?;
                 continue;
             };
 
+            // Power cut as the Mi-SU starts MAC'ing the line: the write is
+            // lost before any Mi-SU state (pad, leaf MAC, root) is touched,
+            // so the dump stays consistent with the persistent registers.
+            // (Dolos-only: other kinds have no Mi-SU instant to cut at.)
+            if matches!(self.config.kind, ControllerKind::Dolos(_))
+                && self.fault_fires(InjectionPoint::MisuProtect)
+            {
+                self.crash(t);
+                return Err(SecurityError::PowerInterrupted {
+                    point: InjectionPoint::MisuProtect,
+                });
+            }
             let (done, payload, mac) = match self.config.kind {
                 ControllerKind::Dolos(_) => {
                     let misu = self.misu.as_mut().expect("dolos has a Mi-SU");
@@ -333,15 +438,31 @@ impl SecureMemorySystem {
                     self.ready_times.push_back(done);
                     self.persist_latency.record(done - now);
                     self.persist_histogram.record(done - now);
+                    // The persist completed: from here the write must
+                    // survive any power failure.
+                    if self.fault_fires(InjectionPoint::WpqInsert) {
+                        self.crash(t);
+                        return Err(SecurityError::PowerInterrupted {
+                            point: InjectionPoint::WpqInsert,
+                        });
+                    }
                     self.advance(done);
-                    return done;
+                    self.take_power_failure(done)?;
+                    return Ok(done);
                 }
                 InsertOutcome::Coalesced { slot: s } => {
                     debug_assert_eq!(s, slot);
                     self.persist_latency.record(done - now);
                     self.persist_histogram.record(done - now);
+                    if self.fault_fires(InjectionPoint::WpqInsert) {
+                        self.crash(t);
+                        return Err(SecurityError::PowerInterrupted {
+                            point: InjectionPoint::WpqInsert,
+                        });
+                    }
                     self.advance(done);
-                    return done;
+                    self.take_power_failure(done)?;
+                    return Ok(done);
                 }
                 InsertOutcome::Full => {
                     // Raced with our own slot choice: treat as a retry.
@@ -349,6 +470,7 @@ impl SecureMemorySystem {
                     let free_at = self.next_slot_free_at();
                     t = t.max(free_at);
                     self.advance(t);
+                    self.take_power_failure(t)?;
                 }
             }
         }
@@ -426,12 +548,25 @@ impl SecureMemorySystem {
     /// Drains the WPQ completely and waits for the background engine — used
     /// by tests and between workload phases. Returns the quiescent time.
     pub fn quiesce(&mut self, now: Cycle) -> Cycle {
+        self.try_quiesce(now)
+            .expect("quiesce interrupted by an injected power failure")
+    }
+
+    /// Fallible variant of [`Self::quiesce`] for fault-injection runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SecurityError::PowerInterrupted`] when an armed
+    /// [`FaultPlan`] fired inside the drain engine; the system is then
+    /// crashed.
+    pub fn try_quiesce(&mut self, now: Cycle) -> Result<Cycle, SecurityError> {
         let mut t = now;
         loop {
             self.advance(t);
+            self.take_power_failure(t)?;
             match self.inflight.back() {
                 Some(&(_, done)) => t = done,
-                None if self.wpq.is_empty() => return t,
+                None if self.wpq.is_empty() => return Ok(t),
                 None => unreachable!("advance starts work while entries remain"),
             }
         }
@@ -450,8 +585,9 @@ impl SecureMemorySystem {
         let occupied = self.wpq.occupied_in_order();
         match self.config.kind {
             ControllerKind::Dolos(_) => {
-                let misu = self.misu.as_ref().expect("dolos has a Mi-SU");
-                misu.drain_to_nvm(&occupied, &mut self.nvm, &self.layout);
+                let layout = self.layout;
+                let misu = self.misu.as_mut().expect("dolos has a Mi-SU");
+                misu.drain_to_nvm(&occupied, &mut self.nvm, &layout);
             }
             ControllerKind::PreWpqSecure => {
                 for entry in &occupied {
@@ -485,16 +621,22 @@ impl SecureMemorySystem {
 
     /// Boot-time recovery after a crash.
     ///
+    /// Recovery is restartable: a nested power failure (an armed
+    /// [`FaultPlan`] at [`InjectionPoint::RecoveryReplay`]) aborts mid-replay
+    /// with the system still crashed, and a subsequent `recover` call
+    /// verifies the same dump under the same Mi-SU epoch and replays it
+    /// again — replay is idempotent, so partially applied entries are safe.
+    ///
     /// # Errors
     ///
-    /// Returns a [`SecurityError`] if any integrity check fails (the threat
-    /// model's attacks being detected).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the system has not crashed.
+    /// Returns [`SecurityError::NotCrashed`] when the system has not
+    /// crashed, [`SecurityError::PowerInterrupted`] on a nested injected
+    /// crash, and any other [`SecurityError`] if an integrity check fails
+    /// (the threat model's attacks being detected).
     pub fn recover(&mut self) -> Result<RecoveryReport, SecurityError> {
-        assert!(self.crashed, "recover requires a crash");
+        if !self.crashed {
+            return Err(SecurityError::NotCrashed);
+        }
         let mut report = RecoveryReport {
             wpq_entries_replayed: 0,
             masu: None,
@@ -506,14 +648,28 @@ impl SecureMemorySystem {
             report.measured_masu_cycles = masu_report.cycles;
             report.masu = Some(masu_report);
         }
-        if let Some(misu) = self.misu.as_mut() {
+        if let Some(misu) = self.misu.as_ref() {
             report.estimated_misu_cycles = misu.estimated_recovery_cycles();
-            let replay = misu.recover_from_nvm(&self.nvm, &self.layout)?;
+            let replay = misu.read_dump(&self.nvm, &self.layout)?;
             report.wpq_entries_replayed = replay.len();
-            let masu = self.masu.as_mut().expect("dolos has a Ma-SU");
             for (addr, plaintext) in replay {
+                // Nested crash between replayed entries: volatile recovery
+                // progress is lost, the dump (and the Mi-SU epoch) stays as
+                // it was, and the system remains crashed.
+                if self.fault_fires(InjectionPoint::RecoveryReplay) {
+                    if let Some(masu) = self.masu.as_mut() {
+                        masu.crash();
+                    }
+                    self.nvm.power_cycle();
+                    return Err(SecurityError::PowerInterrupted {
+                        point: InjectionPoint::RecoveryReplay,
+                    });
+                }
+                let masu = self.masu.as_mut().expect("dolos has a Ma-SU");
                 masu.process_write(Cycle::ZERO, addr, &plaintext, &mut self.nvm);
             }
+            // All entries are home: only now advance the pad/MAC epoch.
+            self.misu.as_mut().expect("checked above").finish_recovery();
         }
         self.crashed = false;
         self.last_drain_done = Cycle::ZERO;
@@ -778,5 +934,144 @@ mod tests {
         let mut sys = SecureMemorySystem::new(ControllerConfig::ideal());
         sys.crash(Cycle::ZERO);
         sys.persist_write(Cycle::ZERO, 0, &line(1));
+    }
+
+    #[test]
+    fn recover_without_crash_is_an_error() {
+        let mut sys = SecureMemorySystem::new(ControllerConfig::dolos(MiSuKind::Partial));
+        assert_eq!(sys.recover(), Err(SecurityError::NotCrashed));
+    }
+
+    #[test]
+    fn armed_fault_crashes_at_wpq_insert_and_write_survives() {
+        let mut sys = SecureMemorySystem::new(ControllerConfig::dolos(MiSuKind::Partial));
+        sys.arm_fault(FaultPlan::new(InjectionPoint::WpqInsert, 3));
+        let mut t = Cycle::ZERO;
+        let mut interrupted_at = None;
+        for i in 0..8u64 {
+            match sys.try_persist_write(t, i * 64, &line(i as u8 + 1)) {
+                Ok(done) => t = done,
+                Err(SecurityError::PowerInterrupted { point }) => {
+                    assert_eq!(point, InjectionPoint::WpqInsert);
+                    interrupted_at = Some(i);
+                    break;
+                }
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        // Fired on the 4th insert (0-based occurrence 3).
+        assert_eq!(interrupted_at, Some(3));
+        assert!(sys.is_crashed());
+        sys.recover().expect("clean recovery");
+        // Every write whose insert happened — including the interrupted
+        // one, whose persist completed — must be durable.
+        for i in 0..4u64 {
+            let (_, data) = sys.read(Cycle::ZERO, i * 64);
+            assert_eq!(data, line(i as u8 + 1), "line {i}");
+        }
+    }
+
+    #[test]
+    fn fault_lost_at_misu_protect_is_legal_and_rest_survive() {
+        let mut sys = SecureMemorySystem::new(ControllerConfig::dolos(MiSuKind::Partial));
+        sys.arm_fault(FaultPlan::new(InjectionPoint::MisuProtect, 2));
+        let mut t = Cycle::ZERO;
+        let mut completed = Vec::new();
+        for i in 0..6u64 {
+            match sys.try_persist_write(t, i * 64, &line(i as u8 + 1)) {
+                Ok(done) => {
+                    t = done;
+                    completed.push(i);
+                }
+                Err(SecurityError::PowerInterrupted { point }) => {
+                    assert_eq!(point, InjectionPoint::MisuProtect);
+                    break;
+                }
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert_eq!(completed, vec![0, 1]);
+        sys.recover()
+            .expect("half-spent Mi-SU state must not poison recovery");
+        for &i in &completed {
+            let (_, data) = sys.read(Cycle::ZERO, i * 64);
+            assert_eq!(data, line(i as u8 + 1));
+        }
+        sys.audit().expect("clean audit after protect-point crash");
+    }
+
+    #[test]
+    fn nested_crash_during_recovery_is_restartable() {
+        let mut sys = SecureMemorySystem::new(ControllerConfig::dolos(MiSuKind::Partial));
+        let mut t = Cycle::ZERO;
+        for i in 0..8u64 {
+            t = sys.persist_write(t, i * 64, &line(i as u8 + 1));
+        }
+        sys.crash(t);
+        // Power fails again after two entries have been replayed.
+        sys.arm_fault(FaultPlan::new(InjectionPoint::RecoveryReplay, 2));
+        assert_eq!(
+            sys.recover(),
+            Err(SecurityError::PowerInterrupted {
+                point: InjectionPoint::RecoveryReplay,
+            })
+        );
+        assert!(sys.is_crashed(), "nested crash leaves the system down");
+        // Second boot: same dump, same epoch, full replay.
+        sys.recover().expect("recovery must be restartable");
+        for i in 0..8u64 {
+            let (_, data) = sys.read(Cycle::ZERO, i * 64);
+            assert_eq!(data, line(i as u8 + 1), "line {i}");
+        }
+        sys.audit().expect("clean audit after nested crash");
+    }
+
+    #[test]
+    fn fault_in_drain_engine_surfaces_and_recovers() {
+        let mut sys = SecureMemorySystem::new(ControllerConfig::dolos(MiSuKind::Partial));
+        sys.arm_fault(FaultPlan::new(InjectionPoint::MasuDrain, 4));
+        let mut t = Cycle::ZERO;
+        let mut wrote = 0u64;
+        let mut interrupted = false;
+        for i in 0..32u64 {
+            match sys.try_persist_write(t, i * 64, &line(i as u8 + 1)) {
+                Ok(done) => {
+                    t = done;
+                    wrote = i + 1;
+                }
+                Err(SecurityError::PowerInterrupted { point }) => {
+                    assert_eq!(point, InjectionPoint::MasuDrain);
+                    interrupted = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(interrupted, "a 32-line burst must reach the 5th drain");
+        sys.recover()
+            .expect("replay over a partially applied drain must be clean");
+        for i in 0..wrote {
+            let (_, data) = sys.read(Cycle::ZERO, i * 64);
+            assert_eq!(data, line(i as u8 + 1), "line {i}");
+        }
+        sys.audit().expect("clean audit after mid-drain crash");
+    }
+
+    #[test]
+    fn disarmed_plans_leave_timing_untouched() {
+        let mut plain = SecureMemorySystem::new(ControllerConfig::dolos(MiSuKind::Partial));
+        let mut armed = SecureMemorySystem::new(ControllerConfig::dolos(MiSuKind::Partial));
+        // A plan that never fires (occurrence far beyond the run).
+        armed.arm_fault(FaultPlan::new(InjectionPoint::WpqInsert, 1 << 40));
+        let mut tp = Cycle::ZERO;
+        let mut ta = Cycle::ZERO;
+        for i in 0..32u64 {
+            tp = plain.persist_write(tp, i * 64, &line(i as u8));
+            ta = armed
+                .try_persist_write(ta, i * 64, &line(i as u8))
+                .expect("never fires");
+            assert_eq!(tp, ta, "write {i}");
+        }
+        assert_eq!(plain.quiesce(tp), armed.try_quiesce(ta).unwrap());
     }
 }

@@ -4,6 +4,8 @@ use core::fmt;
 
 use dolos_nvm::addr::LineAddr;
 
+use crate::inject::InjectionPoint;
+
 /// An integrity or recovery failure detected by the secure memory system.
 ///
 /// Every variant corresponds to an attack (or corruption) from the threat
@@ -20,6 +22,9 @@ pub enum SecurityError {
     /// The recovered WPQ tree root does not match the persistent root
     /// register (Full-WPQ design).
     WpqRootMismatch,
+    /// The dump's address/MAC/drain-order tables do not match the
+    /// persistent table register (spliced, torn, or stale-epoch tables).
+    DumpTableMismatch,
     /// The recomputed counter-tree root does not match the persistent root
     /// register after Ma-SU recovery.
     TreeRootMismatch,
@@ -36,6 +41,17 @@ pub enum SecurityError {
     /// The Phoenix shadow region for the lazily-updated ToC failed
     /// verification.
     TocShadowTampered,
+    /// [`recover`](crate::SecureMemorySystem::recover) was called on a
+    /// system that has not crashed.
+    NotCrashed,
+    /// An armed [`FaultPlan`](crate::inject::FaultPlan) fired: power failed
+    /// at the named injection point and the system is now crashed. Not an
+    /// attack — the signal the chaos harness uses to know its scheduled
+    /// fault actually landed.
+    PowerInterrupted {
+        /// The injection point at which power was cut.
+        point: InjectionPoint,
+    },
 }
 
 impl fmt::Display for SecurityError {
@@ -48,6 +64,12 @@ impl fmt::Display for SecurityError {
                 write!(
                     f,
                     "recovered WPQ root does not match the persistent register"
+                )
+            }
+            SecurityError::DumpTableMismatch => {
+                write!(
+                    f,
+                    "WPQ dump tables do not match the persistent table register"
                 )
             }
             SecurityError::TreeRootMismatch => {
@@ -64,6 +86,12 @@ impl fmt::Display for SecurityError {
             }
             SecurityError::TocShadowTampered => {
                 write!(f, "tree-of-counters shadow region failed verification")
+            }
+            SecurityError::NotCrashed => {
+                write!(f, "recover called on a system that has not crashed")
+            }
+            SecurityError::PowerInterrupted { point } => {
+                write!(f, "injected power failure fired at {point}")
             }
         }
     }

@@ -38,6 +38,7 @@ pub mod audit;
 pub mod config;
 pub mod controller;
 pub mod error;
+pub mod inject;
 pub mod masu;
 pub mod misu;
 
@@ -45,5 +46,6 @@ pub use audit::AuditReport;
 pub use config::{ControllerConfig, ControllerKind, MiSuKind, UpdateScheme};
 pub use controller::{RecoveryReport, SecureMemorySystem};
 pub use error::SecurityError;
+pub use inject::{FaultPlan, InjectionPoint};
 pub use masu::MajorSecurityUnit;
 pub use misu::MinorSecurityUnit;

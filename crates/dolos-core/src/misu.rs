@@ -91,6 +91,11 @@ pub struct MinorSecurityUnit {
     leaf_macs: Vec<Mac64>,
     /// Full design: persistent WPQ root register.
     root: Mac64,
+    /// Persistent dump-table register: MAC over the address, MAC, and
+    /// drain-order tables written by the last ADR dump. Protects the dump's
+    /// *structure* — without it an attacker could splice a stale order
+    /// table into a fresh dump and silently drop or reorder replay.
+    table_root: Mac64,
     /// Next cycle at which the pipelined MAC engine can accept work.
     engine_next_issue: Cycle,
     /// Post design: completion time of the in-flight deferred MAC.
@@ -146,6 +151,7 @@ impl MinorSecurityUnit {
             pads: Vec::new(),
             leaf_macs: vec![[0; 8]; usable_entries],
             root: [0; 8],
+            table_root: [0; 8],
             engine_next_issue: Cycle::ZERO,
             deferred_busy_until: Cycle::ZERO,
             busy_rejections: 0,
@@ -209,6 +215,27 @@ impl MinorSecurityUnit {
             let parts: Vec<&[u8]> = self.leaf_macs.iter().map(|m| &m[..]).collect();
             self.root = self.mac.tag_parts(&parts);
         }
+    }
+
+    /// MAC over the dump's three tables, bound to the current epoch.
+    /// Stored in the persistent `table_root` register at dump time and
+    /// re-checked at recovery: the tables name *which* slots replay and in
+    /// what order, so they need integrity just as the payloads do.
+    fn dump_table_mac(
+        &self,
+        addr_table: &[u64],
+        mac_table: &[[u8; 8]],
+        order_table: &[u64],
+    ) -> Mac64 {
+        let addr_bytes: Vec<u8> = addr_table.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let mac_bytes: Vec<u8> = mac_table.iter().flatten().copied().collect();
+        let order_bytes: Vec<u8> = order_table.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.mac.tag_parts(&[
+            &self.persistent_counter.to_le_bytes(),
+            &addr_bytes,
+            &mac_bytes,
+            &order_bytes,
+        ])
     }
 
     fn entry_mac(&self, slot: usize, addr: LineAddr, ciphertext: &Line) -> Mac64 {
@@ -303,7 +330,12 @@ impl MinorSecurityUnit {
     /// `entries` must be in ring (fetch) order: recovery replays them in
     /// exactly that order so that an older un-cleared write to an address
     /// can never overwrite a newer one.
-    pub fn drain_to_nvm(&self, entries: &[WpqEntry], nvm: &mut NvmDevice, layout: &MetadataLayout) {
+    pub fn drain_to_nvm(
+        &mut self,
+        entries: &[WpqEntry],
+        nvm: &mut NvmDevice,
+        layout: &MetadataLayout,
+    ) {
         let slots = self.physical_entries as u64;
         // Address table: physical_entries u64 values, EMPTY_SLOT when free.
         let mut addr_table = vec![EMPTY_SLOT; self.physical_entries];
@@ -317,6 +349,9 @@ impl MinorSecurityUnit {
                 mac_table[entry.slot] = mac;
             }
         }
+        // The tables' integrity register: one 8-byte persistent-register
+        // write, within the reserve-energy budget alongside the dump burst.
+        self.table_root = self.dump_table_mac(&addr_table, &mac_table, &order_table);
         let addr_lines = self.physical_entries.div_ceil(8) as u64;
         let tables = [
             &addr_table,
@@ -352,6 +387,27 @@ impl MinorSecurityUnit {
     /// persistent root register (Full).
     pub fn recover_from_nvm(
         &mut self,
+        nvm: &NvmDevice,
+        layout: &MetadataLayout,
+    ) -> Result<Vec<(LineAddr, Line)>, SecurityError> {
+        let recovered = self.read_dump(nvm, layout)?;
+        self.finish_recovery();
+        Ok(recovered)
+    }
+
+    /// Reads and verifies the WPQ dump without mutating any Mi-SU state.
+    ///
+    /// Recovery is split in two so it is *restartable*: a nested crash
+    /// between replayed entries leaves the persistent counter (and thus the
+    /// pad/MAC epoch) untouched, and a second recovery verifies the same
+    /// dump under the same epoch. Only [`Self::finish_recovery`] — called
+    /// once every entry has been replayed — advances the epoch.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::recover_from_nvm`].
+    pub fn read_dump(
+        &self,
         nvm: &NvmDevice,
         layout: &MetadataLayout,
     ) -> Result<Vec<(LineAddr, Line)>, SecurityError> {
@@ -394,6 +450,14 @@ impl MinorSecurityUnit {
             }
         }
 
+        // Verify the tables against the persistent register before trusting
+        // anything they say: a spliced or torn table (stale epoch, dropped
+        // or reordered slots) must be caught even when every individual
+        // entry it names still carries a valid MAC.
+        if self.dump_table_mac(&addr_table, &mac_table, &order_table) != self.table_root {
+            return Err(SecurityError::DumpTableMismatch);
+        }
+
         let mut recovered = Vec::new();
         let mut leaf_macs = vec![[0u8; 8]; self.usable_entries];
         for &slot_raw in order_table.iter().take_while(|&&s| s != EMPTY_SLOT) {
@@ -424,15 +488,21 @@ impl MinorSecurityUnit {
                 return Err(SecurityError::WpqRootMismatch);
             }
         }
+        Ok(recovered)
+    }
 
-        // New epoch: never reuse a drained (slot, counter) pair.
+    /// Completes a recovery: advances to a new epoch so a drained
+    /// (slot, counter) pair is never reused, and resets the engine.
+    ///
+    /// Must be called exactly once per completed recovery, after every
+    /// entry returned by [`Self::read_dump`] has been replayed.
+    pub fn finish_recovery(&mut self) {
         self.persistent_counter += self.physical_entries as u64;
         self.regenerate_pads();
         self.leaf_macs = vec![[0; 8]; self.usable_entries];
         self.recompute_full_tree();
         self.deferred_busy_until = Cycle::ZERO;
         self.engine_next_issue = Cycle::ZERO;
-        Ok(recovered)
     }
 
     /// Storage overhead per Table 3 of the paper.
@@ -609,7 +679,50 @@ mod tests {
             // MAC table lines sit after the 16 slot lines + 2 addr lines.
             nvm.tamper(layout.wpq_dump_addr(18), |line| line[0] ^= 1);
         });
-        assert_eq!(result, Err(SecurityError::WpqEntryTampered { slot: 0 }));
+        // The persistent table register catches the splice before any
+        // per-entry verification runs.
+        assert_eq!(result, Err(SecurityError::DumpTableMismatch));
+    }
+
+    #[test]
+    fn stale_order_table_is_detected() {
+        // Splicing the previous epoch's drain-order table into a fresh dump
+        // must not silently drop or reorder replayed writes: the persistent
+        // table register pins the tables as a unit.
+        for kind in MiSuKind::ALL {
+            let mut m = misu(kind);
+            let layout = MetadataLayout::new(1 << 20);
+            let mut nvm = NvmDevice::new();
+            let burst = |m: &mut MinorSecurityUnit, n: usize, tag: u8| -> Vec<WpqEntry> {
+                (0..n)
+                    .map(|slot| {
+                        let pt = [tag + slot as u8; 64];
+                        let a = addr(slot as u64 + 10);
+                        let (_, ct, mac) = m.protect(Cycle::ZERO, slot, a, &pt);
+                        WpqEntry {
+                            addr: a,
+                            payload: ct,
+                            mac,
+                            slot,
+                        }
+                    })
+                    .collect()
+            };
+            let first = burst(&mut m, 2, 1);
+            m.drain_to_nvm(&first, &mut nvm, &layout);
+            let order_line = layout.wpq_dump_addr(16 + 2 * 2);
+            let stale = nvm.snapshot_line(order_line);
+            m.recover_from_nvm(&nvm, &layout)
+                .expect("clean first epoch");
+            let second = burst(&mut m, 3, 7);
+            m.drain_to_nvm(&second, &mut nvm, &layout);
+            nvm.replay_snapshot(order_line, &stale);
+            assert_eq!(
+                m.read_dump(&nvm, &layout),
+                Err(SecurityError::DumpTableMismatch),
+                "{kind:?} accepted a stale order table"
+            );
+        }
     }
 
     #[test]

@@ -124,6 +124,17 @@ impl NvmDevice {
         before
     }
 
+    /// Flips a single bit of a line (rowhammer-style corruption / targeted
+    /// spoofing). `bit` counts from the least-significant bit of byte 0;
+    /// values wrap within the line.
+    ///
+    /// Returns the previous contents.
+    pub fn flip_bit(&mut self, addr: LineAddr, bit: u32) -> Line {
+        let byte = (bit as usize / 8) % LINE_SIZE;
+        let mask = 1u8 << (bit % 8);
+        self.tamper(addr, |line| line[byte] ^= mask)
+    }
+
     /// Captures the contents of a line for a later replay attack.
     pub fn snapshot_line(&self, addr: LineAddr) -> Line {
         self.peek(addr)
@@ -132,6 +143,26 @@ impl NvmDevice {
     /// Replays previously captured contents into a line (replay attack).
     pub fn replay_snapshot(&mut self, addr: LineAddr, old: &Line) {
         self.lines.insert(addr.as_u64(), *old);
+    }
+
+    /// Captures every resident line in `[start, end)`, sorted by address.
+    /// Pairs with [`NvmDevice::restore_lines`] to model torn ADR dumps and
+    /// region-wide replay attacks: snapshot the region, let execution
+    /// continue, then restore a chosen subset of its lines.
+    pub fn snapshot_range(&self, start: u64, end: u64) -> Vec<(LineAddr, Line)> {
+        self.resident_lines_in(start, end)
+            .into_iter()
+            .map(|a| (a, self.peek(a)))
+            .collect()
+    }
+
+    /// Writes captured `(address, contents)` pairs back, untimed. Restoring
+    /// only part of a [`NvmDevice::snapshot_range`] capture models a torn
+    /// write burst: some lines carry the new epoch, the rest the old one.
+    pub fn restore_lines(&mut self, lines: &[(LineAddr, Line)]) {
+        for (addr, data) in lines {
+            self.lines.insert(addr.as_u64(), *data);
+        }
     }
 
     /// Models a power cycle: data is retained, timing/port state resets.
@@ -211,6 +242,38 @@ mod tests {
         nvm.write_line(Cycle::ZERO, addr(0x40), &line);
         let (_, got) = nvm.read_line(Cycle::ZERO, addr(0x40));
         assert_eq!(got, line);
+    }
+
+    #[test]
+    fn flip_bit_toggles_and_wraps() {
+        let mut nvm = NvmDevice::new();
+        nvm.poke(addr(0x40), &[0u8; 64]);
+        nvm.flip_bit(addr(0x40), 13); // byte 1, bit 5
+        assert_eq!(nvm.peek(addr(0x40))[1], 1 << 5);
+        nvm.flip_bit(addr(0x40), 13);
+        assert_eq!(nvm.peek(addr(0x40)), [0u8; 64]);
+        // Bit index wraps within the 512-bit line.
+        nvm.flip_bit(addr(0x40), 512);
+        assert_eq!(nvm.peek(addr(0x40))[0], 1);
+    }
+
+    #[test]
+    fn partial_restore_models_a_torn_dump() {
+        let mut nvm = NvmDevice::new();
+        for i in 0..4u64 {
+            nvm.poke(addr(i * 64), &[1u8; 64]);
+        }
+        let old = nvm.snapshot_range(0, 4 * 64);
+        assert_eq!(old.len(), 4);
+        for i in 0..4u64 {
+            nvm.poke(addr(i * 64), &[2u8; 64]);
+        }
+        // Tear: only the first two lines revert to the old epoch.
+        nvm.restore_lines(&old[..2]);
+        assert_eq!(nvm.peek(addr(0))[0], 1);
+        assert_eq!(nvm.peek(addr(64))[0], 1);
+        assert_eq!(nvm.peek(addr(128))[0], 2);
+        assert_eq!(nvm.peek(addr(192))[0], 2);
     }
 
     #[test]

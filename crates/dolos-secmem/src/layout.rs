@@ -20,6 +20,54 @@ use dolos_nvm::addr::LineAddr;
 /// Bytes per protected page.
 pub const PAGE_BYTES: u64 = 4096;
 
+/// The physical region a line address belongs to.
+///
+/// Adversarial fault injection targets regions by *kind* ("flip a bit in a
+/// counter block", "tear the WPQ dump") rather than by raw address; this
+/// taxonomy names them. [`MetadataLayout::region_of`] classifies an address
+/// and [`MetadataLayout::region_range`] returns a region's extent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MetaRegion {
+    /// Protected application data (ciphertext lines).
+    Data,
+    /// Split-counter blocks (one per protected page).
+    Counters,
+    /// Per-line data MACs.
+    Macs,
+    /// Anubis shadow-table entries.
+    Shadow,
+    /// The WPQ ADR-dump target (payload lines + Mi-SU tables).
+    WpqDump,
+}
+
+impl MetaRegion {
+    /// All regions, for exhaustive tamper sweeps.
+    pub const ALL: [MetaRegion; 5] = [
+        MetaRegion::Data,
+        MetaRegion::Counters,
+        MetaRegion::Macs,
+        MetaRegion::Shadow,
+        MetaRegion::WpqDump,
+    ];
+
+    /// Short stable name (used in reports and CLI flags).
+    pub fn name(self) -> &'static str {
+        match self {
+            MetaRegion::Data => "data",
+            MetaRegion::Counters => "counters",
+            MetaRegion::Macs => "macs",
+            MetaRegion::Shadow => "shadow",
+            MetaRegion::WpqDump => "wpq-dump",
+        }
+    }
+}
+
+impl core::fmt::Display for MetaRegion {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Address-space layout for one protected region.
 ///
 /// # Examples
@@ -150,6 +198,35 @@ impl MetadataLayout {
         // Generous bound: dump region of 256 lines.
         self.wpq_dump_base + 256 * 64
     }
+
+    /// Which region an address falls in, or `None` past the layout's end.
+    pub fn region_of(&self, addr: LineAddr) -> Option<MetaRegion> {
+        let a = addr.as_u64();
+        if a < self.data_bytes {
+            Some(MetaRegion::Data)
+        } else if a < self.mac_base {
+            Some(MetaRegion::Counters)
+        } else if a < self.shadow_base {
+            Some(MetaRegion::Macs)
+        } else if a < self.wpq_dump_base {
+            Some(MetaRegion::Shadow)
+        } else if a < self.end() {
+            Some(MetaRegion::WpqDump)
+        } else {
+            None
+        }
+    }
+
+    /// The `[start, end)` byte extent of a region.
+    pub fn region_range(&self, region: MetaRegion) -> (u64, u64) {
+        match region {
+            MetaRegion::Data => (0, self.data_bytes),
+            MetaRegion::Counters => (self.counter_base, self.mac_base),
+            MetaRegion::Macs => (self.mac_base, self.shadow_base),
+            MetaRegion::Shadow => (self.shadow_base, self.wpq_dump_base),
+            MetaRegion::WpqDump => (self.wpq_dump_base, self.end()),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -224,5 +301,37 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn zero_region_panics() {
         let _ = MetadataLayout::new(0);
+    }
+
+    #[test]
+    fn region_classification_covers_every_region() {
+        let l = MetadataLayout::new(1 << 20);
+        assert_eq!(
+            l.region_of(LineAddr::new(0).unwrap()),
+            Some(MetaRegion::Data)
+        );
+        assert_eq!(
+            l.region_of(l.counter_block_addr(0)),
+            Some(MetaRegion::Counters)
+        );
+        let (mac_line, _) = l.mac_slot(LineAddr::from_index(0));
+        assert_eq!(l.region_of(mac_line), Some(MetaRegion::Macs));
+        let (shadow_line, _) = l.shadow_slot(0);
+        assert_eq!(l.region_of(shadow_line), Some(MetaRegion::Shadow));
+        assert_eq!(l.region_of(l.wpq_dump_addr(0)), Some(MetaRegion::WpqDump));
+        assert_eq!(l.region_of(LineAddr::containing(l.end())), None);
+    }
+
+    #[test]
+    fn region_ranges_tile_the_address_space() {
+        let l = MetadataLayout::new(1 << 22);
+        let mut cursor = 0u64;
+        for region in MetaRegion::ALL {
+            let (start, end) = l.region_range(region);
+            assert_eq!(start, cursor, "{region} must start where the last ended");
+            assert!(end > start, "{region} must be non-empty");
+            cursor = end;
+        }
+        assert_eq!(cursor, l.end());
     }
 }

@@ -35,6 +35,6 @@ pub use bmt::{data_mac, BonsaiMerkleTree};
 pub use cache::SetAssocCache;
 pub use counters::{CounterBlock, IncrementResult, LineCounter};
 pub use ecc::{ecc64, probe_counter};
-pub use layout::MetadataLayout;
+pub use layout::{MetaRegion, MetadataLayout};
 pub use shadow::ShadowTable;
 pub use toc::TreeOfCounters;

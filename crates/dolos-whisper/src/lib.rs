@@ -33,12 +33,14 @@
 
 pub mod cpu_cache;
 pub mod env;
+pub mod oracle;
 pub mod runner;
 pub mod trace;
 pub mod txn;
 pub mod workloads;
 
 pub use env::PmEnv;
+pub use oracle::{GoldenOracle, OracleMismatch};
 pub use runner::{run_workload, RunConfig, RunResult};
 pub use trace::{ReplayResult, Trace, TraceOp};
 pub use txn::UndoLog;

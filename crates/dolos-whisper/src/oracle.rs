@@ -1,0 +1,213 @@
+//! Golden oracle for differential crash-consistency checking.
+//!
+//! The oracle is the in-order, non-secure reference: a plain map of every
+//! write whose persist *completed*, plus at most one write that was in
+//! flight when power failed. After a crash and recovery the secure system
+//! must agree with it exactly:
+//!
+//! * every **committed** write reads back its last value, bit for bit;
+//! * the single **in-flight** write reads back either its old or its new
+//!   value (the core never saw that persist complete, so both outcomes are
+//!   consistent) — any third value is corruption.
+//!
+//! The chaos harness stages each write before issuing it and commits it when
+//! the persist returns; on an injected power failure the staged write simply
+//! stays in flight. [`GoldenOracle::verify`] then folds the observed outcome
+//! of the in-flight write back into the committed map so a campaign can
+//! continue through many crash/recover rounds with one oracle.
+
+use std::collections::BTreeMap;
+
+use dolos_core::SecureMemorySystem;
+use dolos_nvm::Line;
+use dolos_sim::Cycle;
+
+/// Outcome of a differential check that found a divergence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OracleMismatch {
+    /// A committed write did not read back its last value.
+    Committed {
+        /// Line address of the diverging write.
+        addr: u64,
+        /// The value the oracle holds.
+        expected: Box<Line>,
+        /// The value the system returned.
+        actual: Box<Line>,
+    },
+    /// The in-flight write read back neither its old nor its new value.
+    InFlight {
+        /// Line address of the in-flight write.
+        addr: u64,
+        /// The value the system returned.
+        actual: Box<Line>,
+    },
+}
+
+impl core::fmt::Display for OracleMismatch {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            OracleMismatch::Committed { addr, .. } => {
+                write!(f, "committed write at {addr:#x} diverged from the oracle")
+            }
+            OracleMismatch::InFlight { addr, .. } => {
+                write!(
+                    f,
+                    "in-flight write at {addr:#x} is neither old nor new value"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for OracleMismatch {}
+
+/// The golden in-order reference state.
+#[derive(Debug, Clone, Default)]
+pub struct GoldenOracle {
+    /// Last committed value per line address (BTreeMap: deterministic
+    /// iteration order for reproducible campaigns).
+    committed: BTreeMap<u64, Line>,
+    /// The write staged but not yet known to have completed:
+    /// `(addr, new value, old value)`.
+    inflight: Option<(u64, Line, Line)>,
+}
+
+impl GoldenOracle {
+    /// An empty oracle (all lines zero, matching a fresh device).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stages a write about to be issued. Must be followed by
+    /// [`Self::commit`] when the persist completes; staging over an
+    /// unresolved staged write commits the earlier one (its persist
+    /// completed if the program got far enough to issue another).
+    pub fn stage(&mut self, addr: u64, data: Line) {
+        if self.inflight.is_some() {
+            self.commit();
+        }
+        let old = self.committed.get(&addr).copied().unwrap_or([0; 64]);
+        self.inflight = Some((addr, data, old));
+    }
+
+    /// Marks the staged write's persist as completed: from now on it must
+    /// survive any crash.
+    pub fn commit(&mut self) {
+        if let Some((addr, new, _)) = self.inflight.take() {
+            self.committed.insert(addr, new);
+        }
+    }
+
+    /// Number of committed writes tracked.
+    pub fn committed_lines(&self) -> usize {
+        self.committed.len()
+    }
+
+    /// Whether a write is currently staged (power failed mid-persist).
+    pub fn has_inflight(&self) -> bool {
+        self.inflight.is_some()
+    }
+
+    /// Differentially verifies a recovered system against the oracle.
+    ///
+    /// Reads every committed line (exact match required) and the in-flight
+    /// line if any (old-or-new). The observed outcome of the in-flight
+    /// write is folded into the committed map, so the oracle is ready for
+    /// the campaign's next round.
+    ///
+    /// Returns the number of lines checked.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`OracleMismatch`] describing the first divergence.
+    pub fn verify(&mut self, sys: &mut SecureMemorySystem) -> Result<usize, OracleMismatch> {
+        let mut checked = 0;
+        for (&addr, expected) in &self.committed {
+            // An in-flight write to the same line supersedes the committed
+            // value: the old-or-new check below covers both outcomes.
+            if self.inflight.is_some_and(|(a, _, _)| a == addr) {
+                continue;
+            }
+            let (_, actual) = sys.read(Cycle::ZERO, addr);
+            if actual != *expected {
+                return Err(OracleMismatch::Committed {
+                    addr,
+                    expected: Box::new(*expected),
+                    actual: Box::new(actual),
+                });
+            }
+            checked += 1;
+        }
+        if let Some((addr, new, old)) = self.inflight.take() {
+            let (_, actual) = sys.read(Cycle::ZERO, addr);
+            if actual != new && actual != old {
+                return Err(OracleMismatch::InFlight {
+                    addr,
+                    actual: Box::new(actual),
+                });
+            }
+            // Lock in whichever outcome the crash produced.
+            self.committed.insert(addr, actual);
+            checked += 1;
+        }
+        Ok(checked)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dolos_core::{ControllerConfig, MiSuKind};
+
+    #[test]
+    fn committed_writes_must_match_exactly() {
+        let mut sys = SecureMemorySystem::new(ControllerConfig::dolos(MiSuKind::Partial));
+        let mut oracle = GoldenOracle::new();
+        let mut t = Cycle::ZERO;
+        for i in 0..8u64 {
+            oracle.stage(i * 64, [i as u8 + 1; 64]);
+            t = sys.persist_write(t, i * 64, &[i as u8 + 1; 64]);
+            oracle.commit();
+        }
+        sys.crash(t);
+        sys.recover().expect("clean recovery");
+        assert_eq!(oracle.verify(&mut sys), Ok(8));
+    }
+
+    #[test]
+    fn inflight_write_accepts_old_or_new() {
+        let mut sys = SecureMemorySystem::new(ControllerConfig::dolos(MiSuKind::Partial));
+        let mut oracle = GoldenOracle::new();
+        oracle.stage(0, [1; 64]);
+        let t = sys.persist_write(Cycle::ZERO, 0, &[1; 64]);
+        oracle.commit();
+        // Second write to the same line is staged but "power fails" before
+        // it is issued: the line may legally read old or new.
+        oracle.stage(0, [2; 64]);
+        sys.crash(t);
+        sys.recover().expect("clean recovery");
+        // One line checked: the in-flight write supersedes the committed
+        // entry at the same address (old-or-new covers both).
+        assert_eq!(oracle.verify(&mut sys), Ok(1));
+        // The old value won; the oracle locked it in.
+        let (_, data) = sys.read(Cycle::ZERO, 0);
+        assert_eq!(data, [1; 64]);
+        assert!(!oracle.has_inflight());
+    }
+
+    #[test]
+    fn divergence_is_reported() {
+        let mut sys = SecureMemorySystem::new(ControllerConfig::ideal());
+        let mut oracle = GoldenOracle::new();
+        oracle.stage(0, [1; 64]);
+        sys.persist_write(Cycle::ZERO, 0, &[1; 64]);
+        oracle.commit();
+        // Lie to the oracle: claim a write that never happened committed.
+        oracle.stage(64, [9; 64]);
+        oracle.commit();
+        match oracle.verify(&mut sys) {
+            Err(OracleMismatch::Committed { addr, .. }) => assert_eq!(addr, 64),
+            other => panic!("expected divergence, got {other:?}"),
+        }
+    }
+}

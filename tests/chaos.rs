@@ -1,0 +1,289 @@
+//! Integration pins for the dolos-chaos subsystem: seed reproducibility,
+//! per-pipeline-stage crash classes, adversarial tamper detection, and the
+//! Post-WPQ reserved in-flight MAC invariant.
+
+use dolos::core::inject::{FaultPlan, InjectionPoint};
+use dolos::core::{ControllerConfig, MiSuKind, SecureMemorySystem, SecurityError};
+use dolos::secmem::layout::MetaRegion;
+use dolos::sim::Cycle;
+use dolos_chaos::{
+    run_campaign, run_schedule, CampaignConfig, Round, RoundOutcome, Schedule, TamperSpec,
+};
+
+fn secure_designs() -> [ControllerConfig; 5] {
+    [
+        ControllerConfig::deferred(),
+        ControllerConfig::baseline(),
+        ControllerConfig::dolos(MiSuKind::Full),
+        ControllerConfig::dolos(MiSuKind::Partial),
+        ControllerConfig::dolos(MiSuKind::Post),
+    ]
+}
+
+fn dolos_designs() -> [ControllerConfig; 3] {
+    [
+        ControllerConfig::dolos(MiSuKind::Full),
+        ControllerConfig::dolos(MiSuKind::Partial),
+        ControllerConfig::dolos(MiSuKind::Post),
+    ]
+}
+
+fn one_round(writes: usize, fault: Option<(InjectionPoint, u64)>, nested: Option<u64>) -> Round {
+    Round {
+        writes,
+        fault,
+        quiesce: false,
+        nested,
+        tamper: None,
+    }
+}
+
+/// A fixed-seed campaign replays bit for bit: identical reports, identical
+/// JSON. This is the subsystem's reproducibility acceptance criterion.
+#[test]
+fn fixed_seed_campaigns_replay_bit_for_bit() {
+    let config = CampaignConfig {
+        seed: 0xD0105,
+        schedules: 3,
+        rounds: 2,
+        writes_per_round: 14,
+        keyspace: 32,
+        tamper: true,
+        workload_txns: 3,
+    };
+    let first = run_campaign(&config);
+    let second = run_campaign(&config);
+    assert_eq!(first, second, "campaign must be deterministic");
+    assert_eq!(first.to_json(), second.to_json());
+    assert!(first.all_pass(), "{}", first.to_json());
+}
+
+/// Every secure design recovers to a clean audit from a crash injected at
+/// each stage of the persist pipeline it exercises: persist start, Mi-SU
+/// MAC (Dolos only), WPQ insert, and the Ma-SU drain engine.
+#[test]
+fn every_pipeline_stage_crash_class_recovers_clean() {
+    let stages = [
+        InjectionPoint::PersistStart,
+        InjectionPoint::MisuProtect,
+        InjectionPoint::WpqInsert,
+        InjectionPoint::MasuDrain,
+    ];
+    for point in stages {
+        for design in secure_designs() {
+            let dolos_only = point == InjectionPoint::MisuProtect;
+            if dolos_only && !matches!(design.kind, dolos::core::ControllerKind::Dolos(_)) {
+                continue;
+            }
+            let schedule = Schedule {
+                seed: 0xC4A5 ^ point as u64,
+                keyspace: 32,
+                rounds: vec![
+                    one_round(20, Some((point, 2)), None),
+                    one_round(12, None, None),
+                ],
+            };
+            let report = run_schedule(&design, &schedule);
+            assert!(
+                report.pass,
+                "{} @ {point}: {:?}",
+                report.design, report.failure
+            );
+            assert!(
+                matches!(
+                    report.rounds[0].outcome,
+                    RoundOutcome::Clean { fired: Some(p), .. } if p == point
+                ),
+                "{} @ {point}: fault must fire, got {:?}",
+                report.design,
+                report.rounds[0].outcome
+            );
+        }
+    }
+}
+
+/// A nested power failure during recovery replay leaves recovery
+/// restartable: the second boot succeeds, audits clean, and loses nothing.
+/// Replay (and therefore a replay-time crash) exists only in the Dolos
+/// designs — the other controllers complete their writes inside `crash`.
+#[test]
+fn nested_crash_during_recovery_is_restartable_everywhere() {
+    for design in dolos_designs() {
+        let schedule = Schedule {
+            seed: 0x9E57ED,
+            keyspace: 24,
+            rounds: vec![one_round(18, None, Some(0)), one_round(10, None, None)],
+        };
+        let report = run_schedule(&design, &schedule);
+        assert!(report.pass, "{}: {:?}", report.design, report.failure);
+        assert!(
+            matches!(
+                report.rounds[0].outcome,
+                RoundOutcome::Clean {
+                    nested_fired: true,
+                    ..
+                }
+            ),
+            "{}: nested crash must fire, got {:?}",
+            report.design,
+            report.rounds[0].outcome
+        );
+    }
+}
+
+/// Bit flips in committed metadata or ciphertext are always detected by
+/// every secure design: recovery or audit raises a [`SecurityError`];
+/// silent acceptance of the corrupted state would fail the run.
+#[test]
+fn tampering_committed_state_is_always_detected() {
+    // Bits are chosen to land on *live* metadata: any ciphertext bit of a
+    // resident data line; the major counter (low bytes) of a resident
+    // counter block; the first MAC slot, live because the small keyspace
+    // guarantees line 0 is written. The round quiesces before the crash so
+    // the flip lands on fully settled state — a loaded WPQ would let
+    // recovery replay rewrite (and so legitimately heal) tampered metadata.
+    for (region, bit) in [
+        (MetaRegion::Data, 301),
+        (MetaRegion::Counters, 7),
+        (MetaRegion::Macs, 10),
+    ] {
+        for design in secure_designs() {
+            let schedule = Schedule {
+                seed: 0x7A3A ^ region as u64,
+                keyspace: 8,
+                rounds: vec![Round {
+                    writes: 24,
+                    fault: None,
+                    quiesce: true,
+                    nested: None,
+                    tamper: Some(TamperSpec::FlipBit {
+                        region,
+                        pick: 0,
+                        bit,
+                    }),
+                }],
+            };
+            let report = run_schedule(&design, &schedule);
+            assert!(
+                report.pass,
+                "{} / {region}: {:?}",
+                report.design, report.failure
+            );
+            assert!(
+                matches!(
+                    report.rounds.last().map(|r| &r.outcome),
+                    Some(RoundOutcome::TamperDetected { .. })
+                ),
+                "{} / {region}: flip must be detected, got {:?}",
+                report.design,
+                report.rounds
+            );
+        }
+    }
+}
+
+/// Corrupting the ADR dump itself — a flipped dump line or a torn
+/// (partially stale) dump — is detected by every Dolos Mi-SU variant at
+/// recovery time.
+#[test]
+fn dump_corruption_is_detected_by_every_misu_variant() {
+    for design in dolos_designs() {
+        for tamper in [
+            TamperSpec::FlipBit {
+                region: MetaRegion::WpqDump,
+                pick: 1,
+                bit: 77,
+            },
+            TamperSpec::TornDump { drop: 2 },
+        ] {
+            let schedule = Schedule {
+                seed: 0x70C4,
+                keyspace: 16,
+                rounds: vec![
+                    // First round leaves a committed dump epoch behind so a
+                    // torn second dump mixes epochs. The second round writes
+                    // fewer lines so the two epochs' drain-order tables (the
+                    // trailing dump lines a torn burst reverts) differ.
+                    one_round(14, None, None),
+                    Round {
+                        writes: 5,
+                        fault: None,
+                        quiesce: false,
+                        nested: None,
+                        tamper: Some(tamper),
+                    },
+                ],
+            };
+            let report = run_schedule(&design, &schedule);
+            assert!(
+                report.pass,
+                "{} / {tamper}: {:?}",
+                report.design, report.failure
+            );
+            assert!(
+                matches!(
+                    report.rounds.last().map(|r| &r.outcome),
+                    Some(RoundOutcome::TamperDetected { .. })
+                ),
+                "{} / {tamper}: dump corruption must be detected, got {:?}",
+                report.design,
+                report.rounds
+            );
+        }
+    }
+}
+
+/// §5.3: the Post-WPQ design computes no MAC before insertion; instead the
+/// ADR reserve energy finishes the one in-flight MAC during the dump. A
+/// power failure at the insert instant must therefore still yield a
+/// verifiable dump and a durable new value for the interrupted write.
+#[test]
+fn post_wpq_reserved_inflight_mac_finishes_on_reserve_power() {
+    let mut sys = SecureMemorySystem::new(ControllerConfig::dolos(MiSuKind::Post));
+    sys.arm_fault(FaultPlan::new(InjectionPoint::WpqInsert, 4));
+    let mut t = Cycle::ZERO;
+    let mut interrupted = None;
+    for i in 0..12u64 {
+        let data = [i as u8 + 1; 64];
+        match sys.try_persist_write(t, i * 64, &data) {
+            Ok(done) => t = done,
+            Err(SecurityError::PowerInterrupted { point }) => {
+                assert_eq!(point, InjectionPoint::WpqInsert);
+                interrupted = Some((i, data));
+                break;
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    let (addr_index, expected) = interrupted.expect("fault must fire");
+    sys.disarm_fault();
+    sys.recover()
+        .expect("dump must verify: reserve power finished the MAC");
+    sys.audit().expect("clean audit after recovery");
+    // The inserted-but-unMAC'd write is durable with its *new* value: the
+    // dump carried the line and the MAC the reserve energy completed.
+    let (_, data) = sys.read(Cycle::ZERO, addr_index * 64);
+    assert_eq!(data, expected, "in-flight write must be durable");
+    for i in 0..addr_index {
+        let (_, data) = sys.read(Cycle::ZERO, i * 64);
+        assert_eq!(data, [i as u8 + 1; 64], "committed write {i} must survive");
+    }
+}
+
+/// The chaos driver's own obligations hold on the ideal design too: it has
+/// no detection duty, but clean crashes must still be crash-consistent.
+#[test]
+fn ideal_design_is_crash_consistent_without_detection_duties() {
+    let schedule = Schedule {
+        seed: 0x1DEA,
+        keyspace: 32,
+        rounds: vec![
+            one_round(16, Some((InjectionPoint::WpqInsert, 3)), None),
+            one_round(16, None, Some(0)),
+            one_round(16, Some((InjectionPoint::MasuDrain, 1)), None),
+        ],
+    };
+    let report = run_schedule(&ControllerConfig::ideal(), &schedule);
+    assert!(report.pass, "{:?}", report.failure);
+    assert_eq!(report.rounds.len(), 3);
+}

@@ -1,8 +1,9 @@
-//! Property-based tests (proptest) over the core invariants:
-//! crypto round-trips, counter-block serialization, WPQ-vs-model
-//! equivalence, and randomized crash-point durability.
-
-use proptest::prelude::*;
+//! Randomized property tests over the core invariants: crypto round-trips,
+//! counter-block serialization, WPQ-vs-model equivalence, and randomized
+//! crash-point durability.
+//!
+//! Driven by the workspace's own deterministic [`XorShift`] generator (fixed
+//! seeds, no external crates) so every failure reproduces bit-for-bit.
 
 use dolos::core::{ControllerConfig, MiSuKind, SecureMemorySystem};
 use dolos::crypto::aes::Aes128;
@@ -11,79 +12,105 @@ use dolos::crypto::mac::MacEngine;
 use dolos::nvm::wpq::{InsertOutcome, WriteQueue};
 use dolos::nvm::LineAddr;
 use dolos::secmem::counters::CounterBlock;
+use dolos::sim::rng::XorShift;
 use dolos::sim::Cycle;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_bytes<const N: usize>(rng: &mut XorShift) -> [u8; N] {
+    let mut out = [0u8; N];
+    for b in out.iter_mut() {
+        *b = rng.next_below(256) as u8;
+    }
+    out
+}
 
-    #[test]
-    fn ctr_encryption_round_trips(
-        key in prop::array::uniform16(any::<u8>()),
-        addr in (0u64..1 << 30).prop_map(|a| a & !63),
-        counter in any::<u64>(),
-        data in prop::array::uniform32(any::<u8>()),
-    ) {
+#[test]
+fn ctr_encryption_round_trips() {
+    let mut rng = XorShift::new(0xC7_01);
+    for _ in 0..64 {
+        let key: [u8; 16] = random_bytes(&mut rng);
+        let addr = rng.next_below(1 << 30) & !63;
+        let counter = rng.next_u64();
+        let data: [u8; 32] = random_bytes(&mut rng);
+
         let aes = Aes128::new(&key);
         let iv = IvBuilder::new().address(addr).counter(counter).build();
         let pad = generate_pad(&aes, &iv, 32);
         let mut buf = data;
         xor_in_place(&mut buf, &pad);
         xor_in_place(&mut buf, &pad);
-        prop_assert_eq!(buf, data);
+        assert_eq!(buf, data);
     }
+}
 
-    #[test]
-    fn mac_detects_any_single_bit_flip(
-        key in prop::array::uniform16(any::<u8>()),
-        data in prop::collection::vec(any::<u8>(), 1..128),
-        bit in any::<u16>(),
-    ) {
+#[test]
+fn mac_detects_any_single_bit_flip() {
+    let mut rng = XorShift::new(0x3A_C0);
+    for _ in 0..64 {
+        let key: [u8; 16] = random_bytes(&mut rng);
+        let len = 1 + rng.next_below(127) as usize;
+        let mut data = vec![0u8; len];
+        for b in data.iter_mut() {
+            *b = rng.next_below(256) as u8;
+        }
+        let bit = rng.next_below(u16::MAX as u64 + 1) as u16;
+
         let mac = MacEngine::new(key);
         let tag = mac.tag(&data);
         let mut tampered = data.clone();
         let pos = (bit as usize / 8) % tampered.len();
         tampered[pos] ^= 1 << (bit % 8);
-        prop_assert!(!mac.verify(&tampered, &tag));
-        prop_assert!(mac.verify(&data, &tag));
+        assert!(!mac.verify(&tampered, &tag));
+        assert!(mac.verify(&data, &tag));
     }
+}
 
-    #[test]
-    fn counter_block_serialization_round_trips(
-        increments in prop::collection::vec((0usize..64, 1u16..200), 0..40),
-    ) {
+#[test]
+fn counter_block_serialization_round_trips() {
+    let mut rng = XorShift::new(0x5E_11A);
+    for _ in 0..64 {
         let mut block = CounterBlock::new();
-        for (line, n) in increments {
+        let increments = rng.next_below(40) as usize;
+        for _ in 0..increments {
+            let line = rng.next_below(64) as usize;
+            let n = 1 + rng.next_below(199) as u16;
             for _ in 0..n {
                 block.increment(line);
             }
         }
         let line = block.to_line();
-        prop_assert_eq!(CounterBlock::from_line(&line), block);
+        assert_eq!(CounterBlock::from_line(&line), block);
     }
+}
 
-    #[test]
-    fn counter_values_never_repeat(
-        lines in prop::collection::vec(0usize..8, 1..300),
-    ) {
+#[test]
+fn counter_values_never_repeat() {
+    let mut rng = XorShift::new(0xF00D);
+    for _ in 0..64 {
         let mut block = CounterBlock::new();
         let mut seen = std::collections::HashSet::new();
-        for line in lines {
+        let ops = 1 + rng.next_below(299) as usize;
+        for _ in 0..ops {
+            let line = rng.next_below(8) as usize;
             let packed = block.increment(line).counter().packed();
             // Uniqueness per line: (line, packed) pairs never recur.
-            prop_assert!(seen.insert((line, packed)), "counter reuse on line {}", line);
+            assert!(seen.insert((line, packed)), "counter reuse on line {line}");
         }
     }
+}
 
-    #[test]
-    fn wpq_matches_fifo_model(
-        ops in prop::collection::vec((0u64..12, any::<u8>(), any::<bool>()), 1..120),
-    ) {
-        // Reference model: ordered map addr -> freshest value plus FIFO of
-        // pending (addr, value) respecting coalescing on live entries.
+#[test]
+fn wpq_matches_fifo_model() {
+    // Reference model: ordered map addr -> freshest value plus FIFO of
+    // pending (addr, value) respecting coalescing on live entries.
+    let mut rng = XorShift::new(0x0F1F0);
+    for _ in 0..64 {
         let mut wpq = WriteQueue::new(4);
         let mut model: Vec<(u64, u8)> = Vec::new(); // live entries in order
-        for (addr_idx, value, drain) in ops {
-            if drain {
+        let ops = 1 + rng.next_below(119) as usize;
+        for _ in 0..ops {
+            let addr_idx = rng.next_below(12);
+            let value = rng.next_below(256) as u8;
+            if rng.chance(0.5) {
                 if let Some(e) = wpq.fetch_oldest() {
                     wpq.clear(e.slot);
                     let pos = model
@@ -91,7 +118,7 @@ proptest! {
                         .position(|&(a, _)| a == e.addr.line_index())
                         .expect("model has the entry");
                     let (_, v) = model.remove(pos);
-                    prop_assert_eq!(e.payload[0], v, "drain order/value mismatch");
+                    assert_eq!(e.payload[0], v, "drain order/value mismatch");
                 }
                 continue;
             }
@@ -108,26 +135,29 @@ proptest! {
                     entry.1 = value;
                 }
                 InsertOutcome::Full => {
-                    prop_assert_eq!(model.len(), 4, "Full only when model is full");
+                    assert_eq!(model.len(), 4, "Full only when model is full");
                 }
             }
             // Tag array always returns the freshest value.
             if let Some(&(_, v)) = model.iter().rev().find(|(a, _)| *a == addr_idx) {
-                prop_assert_eq!(wpq.lookup(addr).expect("tag hit").payload[0], v);
+                assert_eq!(wpq.lookup(addr).expect("tag hit").payload[0], v);
             }
         }
-        prop_assert_eq!(wpq.len(), model.len());
+        assert_eq!(wpq.len(), model.len());
     }
+}
 
-    #[test]
-    fn fenced_writes_survive_crash_at_any_point(
-        writes in prop::collection::vec((0u64..32, any::<u8>()), 1..40),
-        crash_after in any::<prop::sample::Index>(),
-        misu_idx in 0usize..3,
-    ) {
-        let misu = MiSuKind::ALL[misu_idx];
+#[test]
+fn fenced_writes_survive_crash_at_any_point() {
+    let mut rng = XorShift::new(0xCAFE);
+    for _ in 0..64 {
+        let misu = MiSuKind::ALL[rng.next_below(3) as usize];
         let mut sys = SecureMemorySystem::new(ControllerConfig::dolos(misu));
-        let crash_point = crash_after.index(writes.len());
+        let count = 1 + rng.next_below(39) as usize;
+        let writes: Vec<(u64, u8)> = (0..count)
+            .map(|_| (rng.next_below(32), rng.next_below(256) as u8))
+            .collect();
+        let crash_point = rng.next_below(count as u64) as usize;
         let mut t = Cycle::ZERO;
         let mut committed: std::collections::HashMap<u64, u8> = std::collections::HashMap::new();
         for (i, &(line, value)) in writes.iter().enumerate() {
@@ -141,85 +171,87 @@ proptest! {
         sys.recover().expect("clean recovery");
         for (&line, &value) in &committed {
             let (_, data) = sys.read(Cycle::ZERO, line * 64);
-            prop_assert_eq!(data, [value; 64], "{} line {} lost", misu, line);
-        }
-    }
-
-    #[test]
-    fn reads_always_return_last_write(
-        ops in prop::collection::vec((0u64..16, any::<u8>()), 1..60),
-    ) {
-        let mut sys = SecureMemorySystem::new(ControllerConfig::dolos(MiSuKind::Partial));
-        let mut t = Cycle::ZERO;
-        let mut shadow: std::collections::HashMap<u64, u8> = std::collections::HashMap::new();
-        for (line, value) in ops {
-            t = sys.persist_write(t, line * 64, &[value; 64]);
-            shadow.insert(line, value);
-            let (t2, data) = sys.read(t, line * 64);
-            t = t2;
-            prop_assert_eq!(data, [value; 64]);
-        }
-        for (&line, &value) in &shadow {
-            let (t2, data) = sys.read(t, line * 64);
-            t = t2;
-            prop_assert_eq!(data, [value; 64]);
+            assert_eq!(data, [value; 64], "{misu} line {line} lost");
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+#[test]
+fn reads_always_return_last_write() {
+    let mut rng = XorShift::new(0x9EAD);
+    for _ in 0..64 {
+        let mut sys = SecureMemorySystem::new(ControllerConfig::dolos(MiSuKind::Partial));
+        let mut t = Cycle::ZERO;
+        let mut shadow: std::collections::HashMap<u64, u8> = std::collections::HashMap::new();
+        let ops = 1 + rng.next_below(59) as usize;
+        for _ in 0..ops {
+            let line = rng.next_below(16);
+            let value = rng.next_below(256) as u8;
+            t = sys.persist_write(t, line * 64, &[value; 64]);
+            shadow.insert(line, value);
+            let (t2, data) = sys.read(t, line * 64);
+            t = t2;
+            assert_eq!(data, [value; 64]);
+        }
+        for (&line, &value) in &shadow {
+            let (t2, data) = sys.read(t, line * 64);
+            t = t2;
+            assert_eq!(data, [value; 64]);
+        }
+    }
+}
 
-    /// Any workload, crashed after a random number of transactions, recovers
-    /// with every committed transaction intact.
-    #[test]
-    fn workloads_are_crash_consistent_at_random_points(
-        workload_idx in 0usize..8,
-        txns in 1usize..10,
-        seed in any::<u64>(),
-    ) {
-        use dolos::whisper::workloads::WorkloadKind;
-        use dolos::whisper::PmEnv;
-        use dolos::sim::rng::XorShift;
+/// Any workload, crashed after a random number of transactions, recovers
+/// with every committed transaction intact.
+#[test]
+fn workloads_are_crash_consistent_at_random_points() {
+    use dolos::whisper::workloads::WorkloadKind;
+    use dolos::whisper::PmEnv;
 
-        let kind = WorkloadKind::EXTENDED[workload_idx];
+    let mut rng = XorShift::new(0x000D_0105);
+    for case in 0..12 {
+        let kind = WorkloadKind::EXTENDED[case % WorkloadKind::EXTENDED.len()];
+        let txns = 1 + rng.next_below(9) as usize;
+        let seed = rng.next_u64();
+
         let mut env = PmEnv::new(ControllerConfig::dolos(MiSuKind::Partial));
         let mut workload = kind.build();
         workload.setup(&mut env);
-        let mut rng = XorShift::new(seed);
+        let mut wrng = XorShift::new(seed);
         for _ in 0..txns {
-            workload.transaction(&mut env, 256, &mut rng);
+            workload.transaction(&mut env, 256, &mut wrng);
         }
         env.crash();
         env.recover().expect("clean recovery");
         workload.verify(&mut env);
     }
+}
 
-    /// Traces replay to the exact cycle count of the live run for random
-    /// workloads and seeds.
-    #[test]
-    fn trace_replay_is_cycle_exact(
-        workload_idx in 0usize..6,
-        seed in any::<u64>(),
-    ) {
-        use dolos::whisper::workloads::WorkloadKind;
-        use dolos::whisper::PmEnv;
-        use dolos::sim::rng::XorShift;
+/// Traces replay to the exact cycle count of the live run for random
+/// workloads and seeds.
+#[test]
+fn trace_replay_is_cycle_exact() {
+    use dolos::whisper::workloads::WorkloadKind;
+    use dolos::whisper::PmEnv;
 
-        let kind = WorkloadKind::ALL[workload_idx];
+    let mut rng = XorShift::new(0x7A_CE);
+    for case in 0..6 {
+        let kind = WorkloadKind::ALL[case % WorkloadKind::ALL.len()];
+        let seed = rng.next_u64();
+
         let mut config = ControllerConfig::dolos(MiSuKind::Partial);
         config.region_bytes = 64 << 20;
         let mut env = PmEnv::new(config);
         env.start_recording();
         let mut workload = kind.build();
         workload.setup(&mut env);
-        let mut rng = XorShift::new(seed);
+        let mut wrng = XorShift::new(seed);
         for _ in 0..6 {
-            workload.transaction(&mut env, 512, &mut rng);
+            workload.transaction(&mut env, 512, &mut wrng);
         }
         let live = env.now().as_u64();
         let trace = env.take_trace().expect("recording");
         let replayed = trace.replay(ControllerConfig::dolos(MiSuKind::Partial));
-        prop_assert_eq!(replayed.cycles, live);
+        assert_eq!(replayed.cycles, live);
     }
 }

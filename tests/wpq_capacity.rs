@@ -1,0 +1,85 @@
+//! Regression pins for the usable-WPQ capacities of §5.2.1/§5.3.
+//!
+//! The Mi-SU design trades critical-path MACs against ADR-dumpable WPQ
+//! entries: Full keeps all 16 but pays two MACs per insert, Partial keeps
+//! 13 for one MAC, Post keeps 10 for zero (reserving dump energy for the
+//! one in-flight MAC). These constants are load-bearing for every headline
+//! figure, so they are pinned here at three layers: the Mi-SU formula, the
+//! controller configuration, and the write queue a built system actually
+//! allocates.
+
+use dolos::core::{ControllerConfig, MiSuKind};
+use dolos::nvm::wpq::WriteQueue;
+
+#[test]
+fn paper_capacities_at_sixteen_physical_entries() {
+    assert_eq!(MiSuKind::Full.usable_wpq_entries(16), 16);
+    assert_eq!(MiSuKind::Partial.usable_wpq_entries(16), 13);
+    assert_eq!(MiSuKind::Post.usable_wpq_entries(16), 10);
+}
+
+#[test]
+fn partial_matches_the_papers_reported_sweep() {
+    // §5.2.1 reports the Partial design's usable entries for larger WPQs.
+    assert_eq!(MiSuKind::Partial.usable_wpq_entries(32), 28);
+    assert_eq!(MiSuKind::Partial.usable_wpq_entries(64), 57);
+    assert_eq!(MiSuKind::Partial.usable_wpq_entries(128), 113);
+}
+
+#[test]
+fn full_always_keeps_the_whole_queue() {
+    for physical in [16, 32, 64, 128] {
+        assert_eq!(MiSuKind::Full.usable_wpq_entries(physical), physical);
+    }
+}
+
+#[test]
+fn post_reserves_strictly_more_than_partial() {
+    for physical in [16, 32, 64, 128] {
+        let partial = MiSuKind::Partial.usable_wpq_entries(physical);
+        let post = MiSuKind::Post.usable_wpq_entries(physical);
+        assert!(post < partial, "Post must reserve MAC energy ({physical})");
+        assert!(post >= 1, "Post must keep a usable queue ({physical})");
+    }
+}
+
+#[test]
+fn controller_configs_expose_the_same_numbers() {
+    assert_eq!(ControllerConfig::ideal().usable_wpq_entries(), 16);
+    assert_eq!(ControllerConfig::deferred().usable_wpq_entries(), 16);
+    assert_eq!(ControllerConfig::baseline().usable_wpq_entries(), 16);
+    assert_eq!(
+        ControllerConfig::dolos(MiSuKind::Full).usable_wpq_entries(),
+        16
+    );
+    assert_eq!(
+        ControllerConfig::dolos(MiSuKind::Partial).usable_wpq_entries(),
+        13
+    );
+    assert_eq!(
+        ControllerConfig::dolos(MiSuKind::Post).usable_wpq_entries(),
+        10
+    );
+}
+
+#[test]
+fn configured_capacity_survives_a_physical_resize() {
+    let config = ControllerConfig::dolos(MiSuKind::Partial).with_wpq_entries(64);
+    assert_eq!(config.usable_wpq_entries(), 57);
+    let config = ControllerConfig::dolos(MiSuKind::Post).with_wpq_entries(32);
+    assert_eq!(config.usable_wpq_entries(), 22);
+}
+
+#[test]
+fn write_queue_allocates_exactly_the_usable_entries() {
+    for (kind, expected) in [
+        (MiSuKind::Full, 16),
+        (MiSuKind::Partial, 13),
+        (MiSuKind::Post, 10),
+    ] {
+        let config = ControllerConfig::dolos(kind);
+        let wpq = WriteQueue::new(config.usable_wpq_entries());
+        assert_eq!(wpq.capacity(), expected, "{kind:?}");
+        assert!(wpq.is_empty());
+    }
+}
