@@ -13,22 +13,24 @@ fn main() {
     let mut b = Bench::from_args("secmem");
 
     // 4096 pages = a 16 MiB protected region (height 4).
-    let mut tree = BonsaiMerkleTree::new(4096, MacEngine::new([1; 16]));
+    let engine = MacEngine::new([1; 16]);
+    let mut tree = BonsaiMerkleTree::new(4096, &engine);
     let mut i = 0u64;
     b.run("bmt_update_leaf_16MiB", || {
         i = (i + 1) % 4096;
-        tree.update_leaf(i, bb(&[i as u8; 64]))
+        tree.update_leaf(&engine, i, bb(&[i as u8; 64]))
     });
-    tree.update_leaf(7, &[9; 64]);
+    tree.update_leaf(&engine, 7, &[9; 64]);
     b.run("bmt_verify_leaf_16MiB", || {
-        tree.verify_leaf(7, bb(&[9; 64]))
+        tree.verify_leaf(&engine, 7, bb(&[9; 64]))
     });
 
-    let mut toc = TreeOfCounters::new(4096, MacEngine::new([2; 16]));
+    let toc_engine = MacEngine::new([2; 16]);
+    let mut toc = TreeOfCounters::new(4096, &toc_engine);
     let mut j = 0u64;
     b.run("toc_update_leaf_16MiB", || {
         j = (j + 1) % 64; // keep the shadow region bounded
-        toc.update_leaf(j, bb(&[j as u8; 64]));
+        toc.update_leaf(&toc_engine, j, bb(&[j as u8; 64]));
     });
 
     let mut block = CounterBlock::new();

@@ -3,15 +3,26 @@
 //! ```text
 //! experiments all
 //! experiments fig12 fig15 --transactions 1000 --seed 7
+//! experiments all --jobs 4
+//! experiments bench --jobs 0
 //! ```
+//!
+//! `bench` runs the selected experiments (default: all), suppresses the
+//! tables, and writes machine-readable throughput numbers to
+//! `BENCH_<YYYY-MM-DD>.json` in the working directory. Tables and the
+//! bench JSON are identical at any `--jobs` value apart from wall-clock
+//! fields: sweep results are merged in cell order, never completion order.
 
 use std::process::ExitCode;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
+use dolos_bench::emit::{civil_date_utc, BenchEntry, BenchReport};
 use dolos_bench::{ExperimentConfig, ExperimentId};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: experiments <all|{}> [--transactions N] [--warmup N] [--seed N] [--csv DIR]",
+        "usage: experiments <all|bench|{}> [--transactions N] [--warmup N] [--seed N] \
+         [--jobs N] [--csv DIR]",
         ExperimentId::ALL
             .iter()
             .map(|e| e.name())
@@ -26,10 +37,12 @@ fn main() -> ExitCode {
     let mut config = ExperimentConfig::default();
     let mut selected: Vec<ExperimentId> = Vec::new();
     let mut csv_dir: Option<String> = None;
+    let mut bench = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "all" => selected.extend(ExperimentId::ALL),
+            "bench" => bench = true,
             "--transactions" => match iter.next().and_then(|v| v.parse().ok()) {
                 Some(n) => config.transactions = n,
                 None => return usage(),
@@ -42,6 +55,10 @@ fn main() -> ExitCode {
                 Some(n) => config.seed = n,
                 None => return usage(),
             },
+            "--jobs" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.jobs = n,
+                None => return usage(),
+            },
             "--csv" => match iter.next() {
                 Some(dir) => csv_dir = Some(dir.clone()),
                 None => return usage(),
@@ -52,12 +69,22 @@ fn main() -> ExitCode {
             },
         }
     }
+    if bench && selected.is_empty() {
+        selected.extend(ExperimentId::ALL);
+    }
     if selected.is_empty() {
         return usage();
     }
     println!(
-        "# Dolos experiment harness ({} transactions per run, warmup {}, seed {:#x})\n",
-        config.transactions, config.warmup, config.seed
+        "# Dolos experiment harness ({} transactions per run, warmup {}, seed {:#x}, jobs {})\n",
+        config.transactions,
+        config.warmup,
+        config.seed,
+        if config.jobs == 0 {
+            "auto".to_owned()
+        } else {
+            config.jobs.to_string()
+        }
     );
     if let Some(dir) = &csv_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
@@ -65,10 +92,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    let mut entries = Vec::new();
     for id in selected {
-        let start = std::time::Instant::now();
+        let (cells_before, cycles_before) = config.metrics();
+        let start = Instant::now();
         for (i, table) in config.run(id).into_iter().enumerate() {
-            println!("{}", table.render());
+            if !bench {
+                println!("{}", table.render());
+            }
             if let Some(dir) = &csv_dir {
                 let path = format!("{dir}/{}_{i}.csv", id.name());
                 if let Err(e) = std::fs::write(&path, table.to_csv()) {
@@ -77,7 +108,35 @@ fn main() -> ExitCode {
                 }
             }
         }
-        eprintln!("[{} done in {:.1?}]", id.name(), start.elapsed());
+        let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+        let (cells_after, cycles_after) = config.metrics();
+        entries.push(BenchEntry {
+            name: id.name().to_owned(),
+            wall_ms,
+            cells: cells_after - cells_before,
+            sim_cycles: cycles_after - cycles_before,
+        });
+        eprintln!("[{} done in {:.1}ms]", id.name(), wall_ms);
+    }
+    if bench {
+        let secs = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let report = BenchReport {
+            date: civil_date_utc(secs),
+            transactions: config.transactions,
+            warmup: config.warmup,
+            seed: config.seed,
+            jobs: config.jobs,
+            entries,
+        };
+        let path = report.file_name();
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
     }
     ExitCode::SUCCESS
 }

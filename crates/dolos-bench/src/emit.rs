@@ -1,0 +1,184 @@
+//! Machine-readable benchmark emission for `experiments bench`.
+//!
+//! Runs experiments through the normal harness, but instead of (only)
+//! rendering tables, records per-experiment wall-clock time, sweep-cell
+//! counts, and total simulated cycles, and serializes them as
+//! `BENCH_<YYYY-MM-DD>.json`. The JSON is hand-rolled like the rest of the
+//! workspace (no external crates); every field is numeric or a
+//! machine-generated name, so no string escaping is required beyond what
+//! [`ExperimentId::name`] already guarantees (lowercase ASCII).
+//!
+//! [`ExperimentId::name`]: crate::ExperimentId::name
+
+/// Timing and work tallies for one experiment run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Experiment CLI name ("fig12", "table2", ...).
+    pub name: String,
+    /// Wall-clock milliseconds spent in this experiment.
+    pub wall_ms: f64,
+    /// Sweep cells (independent workload × controller simulations) run.
+    pub cells: u64,
+    /// Total simulated cycles across those cells.
+    pub sim_cycles: u64,
+}
+
+impl BenchEntry {
+    /// Simulation cells completed per wall-clock second (0 when no cells or
+    /// no measurable time elapsed).
+    pub fn cells_per_sec(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            0.0
+        } else {
+            self.cells as f64 * 1000.0 / self.wall_ms
+        }
+    }
+}
+
+/// A full `experiments bench` run: configuration echo plus one entry per
+/// experiment, in run order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// UTC date the run started, `YYYY-MM-DD`.
+    pub date: String,
+    /// Transactions per run (configuration echo).
+    pub transactions: usize,
+    /// Warm-up transactions per run.
+    pub warmup: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Worker threads used for sweep cells.
+    pub jobs: usize,
+    /// Per-experiment tallies, in run order.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchReport {
+    /// The canonical output file name, `BENCH_<date>.json`.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.date)
+    }
+
+    /// Serializes the report. Stable key order, two-space indent, totals
+    /// computed from the entries.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"date\": \"{}\",\n", self.date));
+        out.push_str(&format!("  \"transactions\": {},\n", self.transactions));
+        out.push_str(&format!("  \"warmup\": {},\n", self.warmup));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        out.push_str("  \"experiments\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"cells\": {}, \
+                 \"sim_cycles\": {}, \"cells_per_sec\": {:.3}}}{}\n",
+                e.name,
+                e.wall_ms,
+                e.cells,
+                e.sim_cycles,
+                e.cells_per_sec(),
+                if i + 1 == self.entries.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ],\n");
+        let wall_ms: f64 = self.entries.iter().map(|e| e.wall_ms).sum();
+        let cells: u64 = self.entries.iter().map(|e| e.cells).sum();
+        let sim_cycles: u64 = self.entries.iter().map(|e| e.sim_cycles).sum();
+        let throughput = if wall_ms <= 0.0 {
+            0.0
+        } else {
+            cells as f64 * 1000.0 / wall_ms
+        };
+        out.push_str(&format!(
+            "  \"total\": {{\"wall_ms\": {wall_ms:.3}, \"cells\": {cells}, \
+             \"sim_cycles\": {sim_cycles}, \"cells_per_sec\": {throughput:.3}}}\n"
+        ));
+        out.push('}');
+        out
+    }
+}
+
+/// Converts seconds since the Unix epoch to a `YYYY-MM-DD` UTC date string.
+///
+/// Standard days-to-civil conversion (proleptic Gregorian, era = 400-year
+/// blocks) so the binary needs no clock crate.
+pub fn civil_date_utc(secs_since_epoch: u64) -> String {
+    let days = (secs_since_epoch / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let day = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = yoe + era * 400 + i64::from(month <= 2);
+    format!("{year:04}-{month:02}-{day:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_date_known_values() {
+        assert_eq!(civil_date_utc(0), "1970-01-01");
+        // 2000-02-29 00:00:00 UTC (leap day of a century leap year).
+        assert_eq!(civil_date_utc(951_782_400), "2000-02-29");
+        // 2026-08-06 00:00:00 UTC.
+        assert_eq!(civil_date_utc(1_785_974_400), "2026-08-06");
+        // End-of-year boundary: 2023-12-31 23:59:59.
+        assert_eq!(civil_date_utc(1_704_067_199), "2023-12-31");
+        assert_eq!(civil_date_utc(1_704_067_200), "2024-01-01");
+    }
+
+    #[test]
+    fn report_json_has_totals_and_stable_shape() {
+        let report = BenchReport {
+            date: "2026-08-06".into(),
+            transactions: 400,
+            warmup: 48,
+            seed: 0x5EED,
+            jobs: 2,
+            entries: vec![
+                BenchEntry {
+                    name: "fig12".into(),
+                    wall_ms: 2000.0,
+                    cells: 20,
+                    sim_cycles: 1_000_000,
+                },
+                BenchEntry {
+                    name: "table2".into(),
+                    wall_ms: 500.0,
+                    cells: 15,
+                    sim_cycles: 600_000,
+                },
+            ],
+        };
+        assert_eq!(report.file_name(), "BENCH_2026-08-06.json");
+        let json = report.to_json();
+        assert!(json.contains("\"cells\": 20"));
+        assert!(json.contains("\"wall_ms\": 2500.000"));
+        assert!(json.contains("\"sim_cycles\": 1600000"));
+        assert!(json.contains("\"cells_per_sec\": 10.000"));
+        assert!(json.contains("\"cells_per_sec\": 14.000"));
+        // Balanced braces/brackets and no trailing comma before a closer.
+        let opens = json.matches(['{', '[']).count();
+        let closes = json.matches(['}', ']']).count();
+        assert_eq!(opens, closes);
+        assert!(!json.contains(",]") && !json.contains(",}"));
+    }
+
+    #[test]
+    fn zero_time_throughput_is_zero_not_nan() {
+        let e = BenchEntry {
+            name: "fig6".into(),
+            wall_ms: 0.0,
+            cells: 10,
+            sim_cycles: 5,
+        };
+        assert_eq!(e.cells_per_sec(), 0.0);
+    }
+}

@@ -1,4 +1,12 @@
 //! The experiment implementations, one per table/figure.
+//!
+//! Every workload × controller sweep is expressed as an ordered list of
+//! [`Cell`]s and executed through [`dolos_sim::pool::run_indexed`], so the
+//! rendered tables are identical at any `jobs` value: the pool partitions
+//! cells by index and joins workers in order, and each cell is an
+//! independent simulation (no shared mutable state).
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use dolos_core::{ControllerConfig, MiSuKind, UpdateScheme};
 use dolos_whisper::runner::{run_workload, RunConfig, RunResult};
@@ -75,8 +83,29 @@ impl ExperimentId {
     }
 }
 
+/// One simulation cell of a sweep: workload × controller × transaction size.
+///
+/// Cells are fully independent — each builds its own simulated system from
+/// the carried design — which is what makes the index-partitioned pool
+/// sound here.
+struct Cell {
+    kind: WorkloadKind,
+    design: ControllerConfig,
+    txn_bytes: usize,
+}
+
+impl Cell {
+    fn new(kind: WorkloadKind, design: ControllerConfig, txn_bytes: usize) -> Self {
+        Self {
+            kind,
+            design,
+            txn_bytes,
+        }
+    }
+}
+
 /// Shared sweep parameters.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ExperimentConfig {
     /// Measured transactions per run.
     pub transactions: usize,
@@ -84,6 +113,29 @@ pub struct ExperimentConfig {
     pub warmup: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for sweep cells (0 = auto-detect, 1 = serial).
+    ///
+    /// Any value produces identical tables: results are merged in cell
+    /// order, never in completion order.
+    pub jobs: usize,
+    // Work tallies for `experiments bench`, accumulated across every sweep
+    // this config runs. Atomics so a `&self` sweep can tally while staying
+    // `Sync` for the job pool; contention is nil (one add per sweep).
+    cells_run: AtomicU64,
+    sim_cycles: AtomicU64,
+}
+
+impl Clone for ExperimentConfig {
+    fn clone(&self) -> Self {
+        Self {
+            transactions: self.transactions,
+            warmup: self.warmup,
+            seed: self.seed,
+            jobs: self.jobs,
+            cells_run: AtomicU64::new(self.cells_run.load(Ordering::Relaxed)),
+            sim_cycles: AtomicU64::new(self.sim_cycles.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl Default for ExperimentConfig {
@@ -92,6 +144,9 @@ impl Default for ExperimentConfig {
             transactions: 400,
             warmup: 48,
             seed: 0x5EED,
+            jobs: 1,
+            cells_run: AtomicU64::new(0),
+            sim_cycles: AtomicU64::new(0),
         }
     }
 }
@@ -105,6 +160,36 @@ impl ExperimentConfig {
             seed: self.seed,
             ..RunConfig::default()
         }
+    }
+
+    /// Runs a sweep's cells through the deterministic job pool.
+    ///
+    /// `out[i]` is always the result of `cells[i]` regardless of `jobs`, so
+    /// callers index the result vector by the same arithmetic they used to
+    /// build the cell list.
+    fn run_cells(&self, cells: Vec<Cell>) -> Vec<RunResult> {
+        let results = dolos_sim::pool::run_indexed(self.jobs, &cells, |_, cell| {
+            run_workload(
+                cell.kind,
+                cell.design.clone(),
+                &self.run_config(cell.txn_bytes),
+            )
+        });
+        self.cells_run
+            .fetch_add(cells.len() as u64, Ordering::Relaxed);
+        let cycles: u64 = results.iter().map(|r| r.cycles).sum();
+        self.sim_cycles.fetch_add(cycles, Ordering::Relaxed);
+        results
+    }
+
+    /// Total `(cells, simulated cycles)` this config has run through sweep
+    /// cells so far. Table 3 (analytic) and the measured-recovery
+    /// experiment do not use sweep cells and are not counted.
+    pub fn metrics(&self) -> (u64, u64) {
+        (
+            self.cells_run.load(Ordering::Relaxed),
+            self.sim_cycles.load(Ordering::Relaxed),
+        )
     }
 
     /// Dispatches one experiment, returning its rendered tables.
@@ -126,7 +211,6 @@ impl ExperimentConfig {
 
     /// Figure 6: CPI of Pre-WPQ-Secure vs deferred security (Fig 5-b vs 5-c).
     pub fn fig6(&self) -> Vec<Table> {
-        let rc = self.run_config(1024);
         let mut t = Table::new(
             "Figure 6 — CPI: security before vs after WPQ (txn 1024 B, eager)",
             &[
@@ -137,10 +221,16 @@ impl ExperimentConfig {
                 "paper-mean",
             ],
         );
-        let mut slowdowns = Vec::new();
+        let mut cells = Vec::new();
         for kind in WorkloadKind::ALL {
-            let pre = run_workload(kind, ControllerConfig::baseline(), &rc);
-            let post = run_workload(kind, ControllerConfig::deferred(), &rc);
+            cells.push(Cell::new(kind, ControllerConfig::baseline(), 1024));
+            cells.push(Cell::new(kind, ControllerConfig::deferred(), 1024));
+        }
+        let results = self.run_cells(cells);
+        let mut slowdowns = Vec::new();
+        for (i, kind) in WorkloadKind::ALL.into_iter().enumerate() {
+            let pre = &results[2 * i];
+            let post = &results[2 * i + 1];
             let slowdown = pre.cycles as f64 / post.cycles as f64;
             slowdowns.push(slowdown);
             t.row(vec![
@@ -168,19 +258,34 @@ impl ExperimentConfig {
         title: &str,
         paper_avg: (f64, f64, f64),
     ) -> Vec<Table> {
-        let rc = self.run_config(1024);
         let mut t = Table::new(
             title,
             &["workload", "full", "partial", "post", "paper(avg)"],
         );
-        let mut sums = [0.0f64; 3];
+        // Row-major cells: baseline then the three Mi-SU designs per workload.
+        let stride = 1 + MiSuKind::ALL.len();
+        let mut cells = Vec::new();
         for kind in WorkloadKind::ALL {
-            let base = run_workload(kind, ControllerConfig::baseline().with_scheme(scheme), &rc);
-            let results: Vec<RunResult> = MiSuKind::ALL
-                .iter()
-                .map(|&m| run_workload(kind, ControllerConfig::dolos(m).with_scheme(scheme), &rc))
+            cells.push(Cell::new(
+                kind,
+                ControllerConfig::baseline().with_scheme(scheme),
+                1024,
+            ));
+            for &m in MiSuKind::ALL.iter() {
+                cells.push(Cell::new(
+                    kind,
+                    ControllerConfig::dolos(m).with_scheme(scheme),
+                    1024,
+                ));
+            }
+        }
+        let results = self.run_cells(cells);
+        let mut sums = [0.0f64; 3];
+        for (i, kind) in WorkloadKind::ALL.into_iter().enumerate() {
+            let base = &results[stride * i];
+            let speedups: Vec<f64> = (0..MiSuKind::ALL.len())
+                .map(|m| results[stride * i + 1 + m].speedup_vs(base))
                 .collect();
-            let speedups: Vec<f64> = results.iter().map(|r| r.speedup_vs(&base)).collect();
             for (s, sum) in speedups.iter().zip(sums.iter_mut()) {
                 *sum += s;
             }
@@ -223,7 +328,6 @@ impl ExperimentConfig {
 
     /// Table 2: WPQ insertion retry events per kilo write requests.
     pub fn table2(&self) -> Vec<Table> {
-        let rc = self.run_config(1024);
         let mut t = Table::new(
             "Table 2 — WPQ insertion retries per KWR (txn 1024 B, eager)",
             &[
@@ -236,10 +340,18 @@ impl ExperimentConfig {
                 "paper-post",
             ],
         );
+        let stride = MiSuKind::ALL.len();
+        let mut cells = Vec::new();
+        for kind in WorkloadKind::ALL {
+            for &m in MiSuKind::ALL.iter() {
+                cells.push(Cell::new(kind, ControllerConfig::dolos(m), 1024));
+            }
+        }
+        let results = self.run_cells(cells);
         for (i, kind) in WorkloadKind::ALL.into_iter().enumerate() {
-            let measured: Vec<f64> = MiSuKind::ALL
+            let measured: Vec<f64> = results[stride * i..stride * (i + 1)]
                 .iter()
-                .map(|&m| run_workload(kind, ControllerConfig::dolos(m), &rc).retries_per_kwr())
+                .map(|r| r.retries_per_kwr())
                 .collect();
             let (pf, pp, ppo) = paper::TABLE2_RETRIES_PER_KWR[i];
             t.row(vec![
@@ -261,17 +373,24 @@ impl ExperimentConfig {
             "Figure 13 — Partial-WPQ retries per KWR vs transaction size",
             &["workload", "128B", "256B", "512B", "1024B", "2048B"],
         );
+        let stride = paper::TXN_SIZES.len();
+        let mut cells = Vec::new();
         for kind in WorkloadKind::ALL {
-            let mut cells = vec![kind.name().to_owned()];
             for &size in &paper::TXN_SIZES {
-                let r = run_workload(
+                cells.push(Cell::new(
                     kind,
                     ControllerConfig::dolos(MiSuKind::Partial),
-                    &self.run_config(size),
-                );
-                cells.push(f1(r.retries_per_kwr()));
+                    size,
+                ));
             }
-            t.row(cells);
+        }
+        let results = self.run_cells(cells);
+        for (i, kind) in WorkloadKind::ALL.into_iter().enumerate() {
+            let mut row = vec![kind.name().to_owned()];
+            for r in &results[stride * i..stride * (i + 1)] {
+                row.push(f1(r.retries_per_kwr()));
+            }
+            t.row(row);
         }
         vec![t]
     }
@@ -282,22 +401,34 @@ impl ExperimentConfig {
             "Figure 14 — Partial-WPQ speedup vs transaction size",
             &["workload", "128B", "256B", "512B", "1024B", "2048B"],
         );
+        // Two cells per (workload, size): baseline then Dolos-Partial.
+        let stride = 2 * paper::TXN_SIZES.len();
+        let mut cells = Vec::new();
         for kind in WorkloadKind::ALL {
-            let mut cells = vec![kind.name().to_owned()];
             for &size in &paper::TXN_SIZES {
-                let rc = self.run_config(size);
-                let base = run_workload(kind, ControllerConfig::baseline(), &rc);
-                let dolos = run_workload(kind, ControllerConfig::dolos(MiSuKind::Partial), &rc);
-                cells.push(f3(dolos.speedup_vs(&base)));
+                cells.push(Cell::new(kind, ControllerConfig::baseline(), size));
+                cells.push(Cell::new(
+                    kind,
+                    ControllerConfig::dolos(MiSuKind::Partial),
+                    size,
+                ));
             }
-            t.row(cells);
+        }
+        let results = self.run_cells(cells);
+        for (i, kind) in WorkloadKind::ALL.into_iter().enumerate() {
+            let mut row = vec![kind.name().to_owned()];
+            for j in 0..paper::TXN_SIZES.len() {
+                let base = &results[stride * i + 2 * j];
+                let dolos = &results[stride * i + 2 * j + 1];
+                row.push(f3(dolos.speedup_vs(base)));
+            }
+            t.row(row);
         }
         vec![t]
     }
 
     /// Figure 15: speedup and retries vs WPQ size (Partial, txn 1024 B).
     pub fn fig15(&self) -> Vec<Table> {
-        let rc = self.run_config(1024);
         let mut t = Table::new(
             "Figure 15 — Partial-WPQ speedup vs WPQ size (txn 1024 B)",
             &[
@@ -309,21 +440,31 @@ impl ExperimentConfig {
                 "paper-retries",
             ],
         );
-        for (i, physical) in [16usize, 32, 64, 128].into_iter().enumerate() {
-            let mut speedups = 0.0;
-            let mut retries = 0.0;
+        let sizes = [16usize, 32, 64, 128];
+        let stride = 2 * WorkloadKind::ALL.len();
+        let mut cells = Vec::new();
+        for &physical in &sizes {
             for kind in WorkloadKind::ALL {
-                let base = run_workload(
+                cells.push(Cell::new(
                     kind,
                     ControllerConfig::baseline().with_wpq_entries(physical),
-                    &rc,
-                );
-                let dolos = run_workload(
+                    1024,
+                ));
+                cells.push(Cell::new(
                     kind,
                     ControllerConfig::dolos(MiSuKind::Partial).with_wpq_entries(physical),
-                    &rc,
-                );
-                speedups += dolos.speedup_vs(&base);
+                    1024,
+                ));
+            }
+        }
+        let results = self.run_cells(cells);
+        for (i, physical) in sizes.into_iter().enumerate() {
+            let mut speedups = 0.0;
+            let mut retries = 0.0;
+            for j in 0..WorkloadKind::ALL.len() {
+                let base = &results[stride * i + 2 * j];
+                let dolos = &results[stride * i + 2 * j + 1];
+                speedups += dolos.speedup_vs(base);
                 retries += dolos.retries_per_kwr();
             }
             let n = WorkloadKind::ALL.len() as f64;
@@ -412,7 +553,6 @@ impl ExperimentConfig {
 impl ExperimentConfig {
     /// Ablation studies for the design choices DESIGN.md calls out.
     pub fn ablations(&self) -> Vec<Table> {
-        let rc = self.run_config(1024);
         let workload = WorkloadKind::Hashmap;
         let mut out = Vec::new();
 
@@ -422,22 +562,29 @@ impl ExperimentConfig {
             "Ablation A — MAC latency sweep (Hashmap, Partial vs baseline)",
             &["mac cycles", "baseline cycles", "dolos cycles", "speedup"],
         );
-        for mac in [40u64, 80, 160, 320] {
-            let base = run_workload(
+        let macs = [40u64, 80, 160, 320];
+        let mut cells = Vec::new();
+        for &mac in &macs {
+            cells.push(Cell::new(
                 workload,
                 ControllerConfig::baseline().with_mac_latency(mac),
-                &rc,
-            );
-            let dolos = run_workload(
+                1024,
+            ));
+            cells.push(Cell::new(
                 workload,
                 ControllerConfig::dolos(MiSuKind::Partial).with_mac_latency(mac),
-                &rc,
-            );
+                1024,
+            ));
+        }
+        let results = self.run_cells(cells);
+        for (i, mac) in macs.into_iter().enumerate() {
+            let base = &results[2 * i];
+            let dolos = &results[2 * i + 1];
             t.row(vec![
                 mac.to_string(),
                 base.cycles.to_string(),
                 dolos.cycles.to_string(),
-                f3(dolos.speedup_vs(&base)),
+                f3(dolos.speedup_vs(base)),
             ]);
         }
         out.push(t);
@@ -453,13 +600,21 @@ impl ExperimentConfig {
                 "coalesces",
             ],
         );
-        for kind in [WorkloadKind::Hashmap, WorkloadKind::NstoreYcsb] {
+        let b_kinds = [WorkloadKind::Hashmap, WorkloadKind::NstoreYcsb];
+        let mut cells = Vec::new();
+        for &kind in &b_kinds {
             for on in [true, false] {
                 let mut config = ControllerConfig::dolos(MiSuKind::Partial);
                 if !on {
                     config = config.without_coalescing();
                 }
-                let r = run_workload(kind, config, &rc);
+                cells.push(Cell::new(kind, config, 1024));
+            }
+        }
+        let results = self.run_cells(cells);
+        for (i, kind) in b_kinds.into_iter().enumerate() {
+            for (j, on) in [true, false].into_iter().enumerate() {
+                let r = &results[2 * i + j];
                 t.row(vec![
                     kind.name().into(),
                     if on { "on" } else { "off" }.into(),
@@ -477,12 +632,20 @@ impl ExperimentConfig {
             "Ablation C — counter cache size (Partial, Hashmap)",
             &["cache", "cycles", "hit rate %"],
         );
-        for kib in [8usize, 32, 128, 512] {
-            let r = run_workload(
-                workload,
-                ControllerConfig::dolos(MiSuKind::Partial).with_counter_cache_bytes(kib * 1024),
-                &rc,
-            );
+        let kibs = [8usize, 32, 128, 512];
+        let cells = kibs
+            .iter()
+            .map(|&kib| {
+                Cell::new(
+                    workload,
+                    ControllerConfig::dolos(MiSuKind::Partial).with_counter_cache_bytes(kib * 1024),
+                    1024,
+                )
+            })
+            .collect();
+        let results = self.run_cells(cells);
+        for (i, kib) in kibs.into_iter().enumerate() {
+            let r = &results[i];
             let hits = r.stats.get_or_zero("ctr_cache.hits");
             let misses = r.stats.get_or_zero("ctr_cache.misses");
             t.row(vec![
@@ -499,12 +662,20 @@ impl ExperimentConfig {
             "Ablation D — Osiris stop-loss phase (Partial, Hashmap)",
             &["phase", "cycles", "nvm writes"],
         );
-        for phase in [1u64, 2, 4, 16] {
-            let r = run_workload(
-                workload,
-                ControllerConfig::dolos(MiSuKind::Partial).with_osiris_phase(phase),
-                &rc,
-            );
+        let phases = [1u64, 2, 4, 16];
+        let cells = phases
+            .iter()
+            .map(|&phase| {
+                Cell::new(
+                    workload,
+                    ControllerConfig::dolos(MiSuKind::Partial).with_osiris_phase(phase),
+                    1024,
+                )
+            })
+            .collect();
+        let results = self.run_cells(cells);
+        for (i, phase) in phases.into_iter().enumerate() {
+            let r = &results[i];
             t.row(vec![
                 phase.to_string(),
                 r.cycles.to_string(),
@@ -525,21 +696,32 @@ impl ExperimentConfig {
     /// under the *standard* ADR budget; this table quantifies the remaining
     /// gap.
     pub fn extended(&self) -> Vec<Table> {
-        let rc = self.run_config(1024);
         let mut t = Table::new(
             "Extension — Memcached & Vacation, plus the eADR (deferred) bound",
             &["workload", "dolos-partial", "eadr-bound", "gap %"],
         );
-        for kind in [
+        let kinds = [
             WorkloadKind::Memcached,
             WorkloadKind::Vacation,
             WorkloadKind::Hashmap,
-        ] {
-            let base = run_workload(kind, ControllerConfig::baseline(), &rc);
-            let dolos = run_workload(kind, ControllerConfig::dolos(MiSuKind::Partial), &rc);
-            let eadr = run_workload(kind, ControllerConfig::deferred(), &rc);
-            let s_dolos = dolos.speedup_vs(&base);
-            let s_eadr = eadr.speedup_vs(&base);
+        ];
+        let mut cells = Vec::new();
+        for &kind in &kinds {
+            cells.push(Cell::new(kind, ControllerConfig::baseline(), 1024));
+            cells.push(Cell::new(
+                kind,
+                ControllerConfig::dolos(MiSuKind::Partial),
+                1024,
+            ));
+            cells.push(Cell::new(kind, ControllerConfig::deferred(), 1024));
+        }
+        let results = self.run_cells(cells);
+        for (i, kind) in kinds.into_iter().enumerate() {
+            let base = &results[3 * i];
+            let dolos = &results[3 * i + 1];
+            let eadr = &results[3 * i + 2];
+            let s_dolos = dolos.speedup_vs(base);
+            let s_eadr = eadr.speedup_vs(base);
             t.row(vec![
                 kind.name().into(),
                 f3(s_dolos),
@@ -556,10 +738,18 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExperimentConfig {
+        // Debug test runs shrink the simulated scale so `cargo test -q`
+        // stays fast; the simulator is deterministic, so `--release` CI
+        // checks the identical properties at the larger scale.
+        #[cfg(debug_assertions)]
+        let (transactions, warmup) = (2, 1);
+        #[cfg(not(debug_assertions))]
+        let (transactions, warmup) = (8, 2);
         ExperimentConfig {
-            transactions: 8,
-            warmup: 2,
+            transactions,
+            warmup,
             seed: 1,
+            ..ExperimentConfig::default()
         }
     }
 
@@ -573,8 +763,10 @@ mod tests {
 
     #[test]
     fn table3_needs_no_simulation() {
-        let tables = tiny().table3();
+        let config = tiny();
+        let tables = config.table3();
         assert_eq!(tables[0].len(), 3);
+        assert_eq!(config.metrics(), (0, 0), "analytic table ran no cells");
     }
 
     #[test]
@@ -588,18 +780,27 @@ mod tests {
     }
 
     #[test]
-    fn fig6_produces_mean_row() {
-        let tables = tiny().fig6();
+    fn fig6_produces_mean_row_and_tallies_work() {
+        let config = tiny();
+        let tables = config.fig6();
         let text = tables[0].render();
         assert!(text.contains("MEAN"));
+        let (cells, cycles) = config.metrics();
+        assert_eq!(cells, 2 * WorkloadKind::ALL.len() as u64);
+        assert!(cycles > 0, "sweep cells must tally simulated cycles");
     }
 
     #[test]
     fn every_experiment_runs_end_to_end() {
+        #[cfg(debug_assertions)]
+        let (transactions, warmup) = (1, 0);
+        #[cfg(not(debug_assertions))]
+        let (transactions, warmup) = (3, 1);
         let config = ExperimentConfig {
-            transactions: 3,
-            warmup: 1,
+            transactions,
+            warmup,
             seed: 2,
+            ..ExperimentConfig::default()
         };
         for id in ExperimentId::ALL {
             let tables = config.run(id);
@@ -611,12 +812,41 @@ mod tests {
         }
     }
 
+    /// The tentpole determinism criterion on the bench side: every sweep
+    /// renders the identical table at any worker count, because results are
+    /// merged in cell order, never completion order.
+    #[test]
+    fn sweeps_render_identically_at_any_job_count() {
+        #[cfg(debug_assertions)]
+        const JOB_COUNTS: &[usize] = &[3];
+        #[cfg(not(debug_assertions))]
+        const JOB_COUNTS: &[usize] = &[0, 2, 5];
+        let serial = tiny();
+        let reference = serial.fig12();
+        for &jobs in JOB_COUNTS {
+            let parallel = ExperimentConfig { jobs, ..tiny() };
+            let tables = parallel.fig12();
+            assert_eq!(reference[0].render(), tables[0].render(), "jobs={jobs}");
+            assert_eq!(reference[0].to_csv(), tables[0].to_csv(), "jobs={jobs}");
+        }
+        // A second, structurally different sweep (paired pre/post cells).
+        let parallel = ExperimentConfig { jobs: 2, ..tiny() };
+        assert_eq!(serial.fig6()[0].render(), parallel.fig6()[0].render());
+    }
+
     #[test]
     fn fig12_shape_holds_even_at_small_scale() {
+        // The credible band below was verified to hold from 4 transactions
+        // up; debug runs use the small end to keep the suite fast.
+        #[cfg(debug_assertions)]
+        let (transactions, warmup) = (6, 2);
+        #[cfg(not(debug_assertions))]
+        let (transactions, warmup) = (60, 8);
         let config = ExperimentConfig {
-            transactions: 60,
-            warmup: 8,
+            transactions,
+            warmup,
             seed: 3,
+            ..ExperimentConfig::default()
         };
         let tables = config.fig12();
         let text = tables[0].render();

@@ -3,7 +3,10 @@
 //!
 //! ```text
 //! chaos [--seed N] [--schedules N] [--rounds N] [--writes N] [--keyspace N]
-//!       [--no-tamper] [--workload-txns N] [--json PATH] [--quiet]
+//!       [--no-tamper] [--workload-txns N] [--jobs N] [--json PATH] [--quiet]
+//!
+//! `--jobs N` runs the sweep on N worker threads (0 = auto). The report —
+//! including the JSON — is byte-for-byte identical at any job count.
 //! ```
 //!
 //! Exit status is 0 when every design met every obligation, 1 otherwise.
@@ -15,7 +18,7 @@ use dolos_chaos::{run_campaign, CampaignConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: chaos [--seed N] [--schedules N] [--rounds N] [--writes N] \
-         [--keyspace N] [--no-tamper] [--workload-txns N] [--json PATH] [--quiet]"
+         [--keyspace N] [--no-tamper] [--workload-txns N] [--jobs N] [--json PATH] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -44,6 +47,7 @@ fn main() -> ExitCode {
             "--workload-txns" => {
                 config.workload_txns = value(&mut i).parse().unwrap_or_else(|_| usage())
             }
+            "--jobs" => config.jobs = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--json" => json_path = Some(value(&mut i)),
             "--quiet" => quiet = true,
             "--help" | "-h" => usage(),

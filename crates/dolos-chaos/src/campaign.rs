@@ -43,6 +43,10 @@ pub struct CampaignConfig {
     pub tamper: bool,
     /// Transactions per workload before the crash (0 skips workloads).
     pub workload_txns: usize,
+    /// Worker threads for the sweep (0 = auto-detect). Any value produces
+    /// the identical report, byte for byte: cells are partitioned by index
+    /// and merged in canonical order.
+    pub jobs: usize,
 }
 
 impl Default for CampaignConfig {
@@ -55,6 +59,7 @@ impl Default for CampaignConfig {
             keyspace: 48,
             tamper: true,
             workload_txns: 6,
+            jobs: 1,
         }
     }
 }
@@ -179,6 +184,8 @@ impl CampaignReport {
                     '"' => out.push_str("\\\""),
                     '\\' => out.push_str("\\\\"),
                     '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
                     c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
                     c => out.push(c),
                 }
@@ -258,8 +265,90 @@ fn run_workload_case(
     }
 }
 
+/// One independent simulation cell of the campaign sweep: a (design,
+/// schedule) or (design, workload) pair. Cells are enumerated in canonical
+/// report order so the parallel sweep merges back deterministically.
+#[derive(Debug, Clone)]
+enum Cell {
+    Schedule {
+        design: ControllerConfig,
+        seed: u64,
+    },
+    Workload {
+        design: ControllerConfig,
+        kind: WorkloadKind,
+        seed: u64,
+        txns: usize,
+    },
+}
+
+/// The outcome of one cell, carrying everything the merge needs.
+enum CellOutcome {
+    Schedule {
+        commits: usize,
+        lines_verified: usize,
+        tampers_detected: usize,
+        pass: bool,
+        /// Already-shrunk reproducer when the schedule failed. Shrinking in
+        /// the worker keeps the expensive part parallel; the merge just
+        /// picks the first one in canonical order.
+        failure: Option<FailureCase>,
+    },
+    Workload {
+        result: Result<(), FailureCase>,
+    },
+}
+
+fn run_cell(schedule_config: &ScheduleConfig, cell: &Cell) -> CellOutcome {
+    match cell {
+        Cell::Schedule { design, seed } => {
+            let schedule = Schedule::generate(*seed, schedule_config);
+            let report = run_schedule(design, &schedule);
+            let tampers_detected = report
+                .rounds
+                .iter()
+                .filter(|r| {
+                    matches!(
+                        r.outcome,
+                        crate::driver::RoundOutcome::TamperDetected { .. }
+                    )
+                })
+                .count();
+            let failure = if report.pass {
+                None
+            } else {
+                let minimal = shrink(design, &schedule);
+                Some(FailureCase {
+                    scenario: minimal.to_string(),
+                    message: report.failure.unwrap_or_default(),
+                })
+            };
+            CellOutcome::Schedule {
+                commits: report.commits,
+                lines_verified: report.lines_verified,
+                tampers_detected,
+                pass: report.pass,
+                failure,
+            }
+        }
+        Cell::Workload {
+            design,
+            kind,
+            seed,
+            txns,
+        } => CellOutcome::Workload {
+            result: run_workload_case(design, *kind, *txns, *seed).map_err(|message| FailureCase {
+                scenario: format!("workload {kind} x{txns} txns, seed {seed:#x}"),
+                message,
+            }),
+        },
+    }
+}
+
 /// Runs the full campaign. Deterministic: the same config always produces
-/// the same report, byte for byte.
+/// the same report, byte for byte, at any `jobs` value — cells are
+/// independent (seeds are pre-derived), partitioned by index with no work
+/// stealing, and merged back in canonical design order.
 pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
     let schedule_config = ScheduleConfig {
         rounds: config.rounds,
@@ -268,7 +357,8 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
         tamper: config.tamper,
     };
     // Derive schedule and workload seeds once, shared by every design, so
-    // the matrix compares designs on identical scenarios.
+    // the matrix compares designs on identical scenarios — and so every
+    // cell is self-contained before the sweep starts.
     let mut seeder = XorShift::new(config.seed ^ 0x0DD5_CA05);
     let schedule_seeds: Vec<u64> = (0..config.schedules).map(|_| seeder.next_u64()).collect();
     let workload_seeds: Vec<u64> = CAMPAIGN_WORKLOADS
@@ -276,9 +366,40 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
         .map(|_| seeder.next_u64())
         .collect();
 
-    let summaries = campaign_designs()
+    // Canonical cell order: per design, all schedules then all workloads —
+    // exactly the order the old serial loop visited them.
+    let designs = campaign_designs();
+    let mut cells: Vec<Cell> = Vec::new();
+    for design in &designs {
+        for &seed in &schedule_seeds {
+            cells.push(Cell::Schedule {
+                design: design.clone(),
+                seed,
+            });
+        }
+        if config.workload_txns > 0 {
+            for (kind, &seed) in CAMPAIGN_WORKLOADS.iter().zip(&workload_seeds) {
+                cells.push(Cell::Workload {
+                    design: design.clone(),
+                    kind: *kind,
+                    seed,
+                    txns: config.workload_txns,
+                });
+            }
+        }
+    }
+
+    let outcomes = dolos_sim::pool::run_indexed(config.jobs, &cells, |_, cell| {
+        run_cell(&schedule_config, cell)
+    });
+
+    // Merge in canonical order: per design, fold its cells' outcomes into a
+    // summary exactly as the serial loop did.
+    let cells_per_design = cells.len() / designs.len();
+    let summaries = designs
         .iter()
-        .map(|design| {
+        .enumerate()
+        .map(|(d, design)| {
             let mut summary = DesignSummary {
                 design: design.kind.name(),
                 schedules_passed: 0,
@@ -290,51 +411,37 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
                 lines_verified: 0,
                 first_failure: None,
             };
-            for &seed in &schedule_seeds {
-                let schedule = Schedule::generate(seed, &schedule_config);
-                let report = run_schedule(design, &schedule);
-                summary.commits += report.commits;
-                summary.lines_verified += report.lines_verified;
-                summary.tampers_detected += report
-                    .rounds
-                    .iter()
-                    .filter(|r| {
-                        matches!(
-                            r.outcome,
-                            crate::driver::RoundOutcome::TamperDetected { .. }
-                        )
-                    })
-                    .count();
-                if report.pass {
-                    summary.schedules_passed += 1;
-                } else {
-                    summary.schedules_failed += 1;
-                    if summary.first_failure.is_none() {
-                        let minimal = shrink(design, &schedule);
-                        summary.first_failure = Some(FailureCase {
-                            scenario: minimal.to_string(),
-                            message: report.failure.unwrap_or_default(),
-                        });
-                    }
-                }
-            }
-            if config.workload_txns > 0 {
-                for (kind, &seed) in CAMPAIGN_WORKLOADS.iter().zip(&workload_seeds) {
-                    match run_workload_case(design, *kind, config.workload_txns, seed) {
-                        Ok(()) => summary.workloads_passed += 1,
-                        Err(message) => {
-                            summary.workloads_failed += 1;
+            let slice = &outcomes[d * cells_per_design..(d + 1) * cells_per_design];
+            for outcome in slice {
+                match outcome {
+                    CellOutcome::Schedule {
+                        commits,
+                        lines_verified,
+                        tampers_detected,
+                        pass,
+                        failure,
+                    } => {
+                        summary.commits += commits;
+                        summary.lines_verified += lines_verified;
+                        summary.tampers_detected += tampers_detected;
+                        if *pass {
+                            summary.schedules_passed += 1;
+                        } else {
+                            summary.schedules_failed += 1;
                             if summary.first_failure.is_none() {
-                                summary.first_failure = Some(FailureCase {
-                                    scenario: format!(
-                                        "workload {kind} x{} txns, seed {seed:#x}",
-                                        config.workload_txns
-                                    ),
-                                    message,
-                                });
+                                summary.first_failure = failure.clone();
                             }
                         }
                     }
+                    CellOutcome::Workload { result } => match result {
+                        Ok(()) => summary.workloads_passed += 1,
+                        Err(case) => {
+                            summary.workloads_failed += 1;
+                            if summary.first_failure.is_none() {
+                                summary.first_failure = Some(case.clone());
+                            }
+                        }
+                    },
                 }
             }
             summary
@@ -360,6 +467,7 @@ mod tests {
             keyspace: 24,
             tamper: true,
             workload_txns: 2,
+            jobs: 1,
         }
     }
 
@@ -379,6 +487,115 @@ mod tests {
         let b = run_campaign(&small());
         assert_eq!(a, b);
         assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn report_is_identical_at_any_job_count() {
+        let serial = run_campaign(&small());
+        let serial_json = serial.to_json();
+        for jobs in [0usize, 2, 3, 16] {
+            let parallel = run_campaign(&CampaignConfig { jobs, ..small() });
+            assert_eq!(serial, parallel, "jobs={jobs} changed the report");
+            assert_eq!(
+                serial_json,
+                parallel.to_json(),
+                "jobs={jobs} changed the JSON bytes"
+            );
+        }
+    }
+
+    /// Minimal JSON well-formedness scanner: tracks strings, escapes, and
+    /// bracket balance. Catches exactly the bug class the escaper guards
+    /// against (raw control characters, unescaped quotes/backslashes).
+    fn assert_json_parses(json: &str) {
+        let mut depth: i64 = 0;
+        let mut in_string = false;
+        let mut chars = json.chars();
+        while let Some(c) = chars.next() {
+            if in_string {
+                match c {
+                    '\\' => {
+                        let e = chars.next().expect("dangling escape");
+                        match e {
+                            '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't' => {}
+                            'u' => {
+                                for _ in 0..4 {
+                                    let h = chars.next().expect("truncated \\u escape");
+                                    assert!(h.is_ascii_hexdigit(), "bad \\u digit {h:?}");
+                                }
+                            }
+                            other => panic!("invalid escape \\{other}"),
+                        }
+                    }
+                    '"' => in_string = false,
+                    c if (c as u32) < 0x20 => {
+                        panic!("raw control character {:#04x} inside string", c as u32)
+                    }
+                    _ => {}
+                }
+            } else {
+                match c {
+                    '"' => in_string = true,
+                    '{' | '[' => depth += 1,
+                    '}' | ']' => {
+                        depth -= 1;
+                        assert!(depth >= 0, "unbalanced brackets");
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert!(!in_string, "unterminated string");
+        assert_eq!(depth, 0, "unbalanced brackets");
+    }
+
+    #[test]
+    fn json_escapes_hostile_failure_text() {
+        // A failure whose scenario/message exercise every dangerous class:
+        // quotes, backslashes, newlines, carriage returns, tabs, and a raw
+        // control character.
+        let report = CampaignReport {
+            seed: 7,
+            summaries: vec![DesignSummary {
+                design: "dolos-post",
+                schedules_passed: 0,
+                schedules_failed: 1,
+                workloads_passed: 0,
+                workloads_failed: 1,
+                tampers_detected: 0,
+                commits: 3,
+                lines_verified: 9,
+                first_failure: Some(FailureCase {
+                    scenario: "write \"a\\b\"\nline2\rline3\ttab\u{1}end".to_string(),
+                    message: "oracle mismatch: got \"x\" want \\ \n".to_string(),
+                }),
+            }],
+        };
+        let json = report.to_json();
+        assert_json_parses(&json);
+        assert!(json.contains("\\\"a\\\\b\\\""));
+        assert!(json.contains("\\n"));
+        assert!(json.contains("\\r"));
+        assert!(json.contains("\\t"));
+        assert!(json.contains("\\u0001"));
+        // No raw newline may survive inside a string value.
+        for line in json.lines() {
+            assert!(!line.contains('\u{1}'));
+        }
+    }
+
+    #[test]
+    fn campaign_json_with_failures_parses() {
+        // An end-to-end failing campaign (tamper detection disabled designs
+        // still pass; force a failure via a workload on a tampered run is
+        // hard to stage deterministically, so validate the passing matrix
+        // too — structure is identical either way).
+        let json = run_campaign(&CampaignConfig {
+            schedules: 1,
+            ..small()
+        })
+        .to_json();
+        assert_json_parses(&json);
     }
 
     #[test]

@@ -159,6 +159,10 @@ pub struct ControllerConfig {
     pub counter_cache_bytes: usize,
     /// Counter cache associativity (Table 1: 4-way).
     pub counter_cache_ways: usize,
+    /// Merkle-tree metadata cache capacity in bytes (Table 1: 256 KiB).
+    pub mt_cache_bytes: usize,
+    /// Merkle-tree metadata cache associativity (Table 1: 8-way).
+    pub mt_cache_ways: usize,
     /// Osiris stop-loss: counter blocks persist every N updates.
     pub osiris_phase: u64,
     /// Whether the volatile WPQ tag array is present (enables write
@@ -203,6 +207,8 @@ impl ControllerConfig {
             latency: CryptoLatency::default(),
             counter_cache_bytes: 128 * 1024,
             counter_cache_ways: 4,
+            mt_cache_bytes: 256 * 1024,
+            mt_cache_ways: 8,
             osiris_phase: 4,
             coalescing: true,
             key_seed: 0xD0105,
@@ -242,6 +248,12 @@ impl ControllerConfig {
     /// Sets the counter-cache capacity (builder style).
     pub fn with_counter_cache_bytes(mut self, bytes: usize) -> Self {
         self.counter_cache_bytes = bytes;
+        self
+    }
+
+    /// Sets the Merkle-tree metadata cache capacity (builder style).
+    pub fn with_mt_cache_bytes(mut self, bytes: usize) -> Self {
+        self.mt_cache_bytes = bytes;
         self
     }
 

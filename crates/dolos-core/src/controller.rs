@@ -117,6 +117,8 @@ impl SecureMemorySystem {
                 config.latency,
                 config.counter_cache_bytes,
                 config.counter_cache_ways,
+                config.mt_cache_bytes,
+                config.mt_cache_ways,
                 config.osiris_phase,
                 config.key_seed,
             )),
@@ -254,55 +256,56 @@ impl SecureMemorySystem {
         if self.pending_power_failure.is_some() {
             return;
         }
-        // Start up to the engine's pipeline depth: deeper entries stay live
-        // (and coalescible) until a pipeline slot frees.
-        while self.inflight.len() < self.drain_depth {
-            let Some(entry) = self.wpq.fetch_oldest() else {
-                break;
-            };
-            let ready = self
-                .ready_times
-                .pop_front()
-                .expect("ready_times tracks queued entries");
-            let done = self.drain_one(entry.slot, entry.addr, entry.payload, ready);
-            // Clamp monotone so ring clearing stays in order even when a
-            // counter-cache miss inflates one entry's completion.
-            self.last_drain_done = self.last_drain_done.max(done);
-            self.inflight.push_back((entry.slot, self.last_drain_done));
-            // Mid-drain fault: the entry is applied to NVM but not yet
-            // cleared from the WPQ, so the ADR dump will carry it again and
-            // recovery replays on top of the partial application.
-            if self.fault_fires(InjectionPoint::MasuDrain) {
-                self.pending_power_failure = Some(InjectionPoint::MasuDrain);
-                return;
-            }
-        }
+        // Alternate fill and clear until a fixpoint: fill the pipeline, then
+        // clear every completed entry, then fill the freed slots, … The old
+        // shape instead refilled at most ONE entry per cleared entry, and
+        // only when the pipeline had been *exactly* full before the pop
+        // (`inflight.len() + 1 == drain_depth`) — a stall-prone coupling
+        // that silently under-refilled whenever the two conditions drifted
+        // apart (e.g. a design whose pipeline depth exceeds its usable WPQ
+        // entries never satisfies the "exactly full" test). The fixpoint
+        // shape makes liveness unconditional: on exit either the pipeline
+        // is full, or no live unfetched entry remains, or nothing more
+        // completed by `now`.
         loop {
-            match self.inflight.front() {
-                Some(&(slot, done)) if done <= now => {
-                    self.wpq.clear(slot);
-                    if let Some(misu) = self.misu.as_mut() {
-                        misu.on_clear(slot);
-                    }
-                    self.inflight.pop_front();
-                    // A pipeline slot freed: pull in the next live entry.
-                    if self.inflight.len() + 1 == self.drain_depth {
-                        if let Some(entry) = self.wpq.fetch_oldest() {
-                            let ready = self
-                                .ready_times
-                                .pop_front()
-                                .expect("ready_times tracks queued entries");
-                            let done = self.drain_one(entry.slot, entry.addr, entry.payload, ready);
-                            self.last_drain_done = self.last_drain_done.max(done);
-                            self.inflight.push_back((entry.slot, self.last_drain_done));
-                            if self.fault_fires(InjectionPoint::MasuDrain) {
-                                self.pending_power_failure = Some(InjectionPoint::MasuDrain);
-                                return;
-                            }
-                        }
-                    }
+            // Start up to the engine's pipeline depth: deeper entries stay
+            // live (and coalescible) until a pipeline slot frees.
+            while self.inflight.len() < self.drain_depth {
+                let Some(entry) = self.wpq.fetch_oldest() else {
+                    break;
+                };
+                let ready = self
+                    .ready_times
+                    .pop_front()
+                    .expect("ready_times tracks queued entries");
+                let done = self.drain_one(entry.slot, entry.addr, entry.payload, ready);
+                // Clamp monotone so ring clearing stays in order even when a
+                // counter-cache miss inflates one entry's completion.
+                self.last_drain_done = self.last_drain_done.max(done);
+                self.inflight.push_back((entry.slot, self.last_drain_done));
+                // Mid-drain fault: the entry is applied to NVM but not yet
+                // cleared from the WPQ, so the ADR dump will carry it again
+                // and recovery replays on top of the partial application.
+                if self.fault_fires(InjectionPoint::MasuDrain) {
+                    self.pending_power_failure = Some(InjectionPoint::MasuDrain);
+                    return;
                 }
-                _ => break,
+            }
+            // Clear (strictly in ring order) everything that completed.
+            let mut cleared = false;
+            while let Some(&(slot, done)) = self.inflight.front() {
+                if done > now {
+                    break;
+                }
+                self.wpq.clear(slot);
+                if let Some(misu) = self.misu.as_mut() {
+                    misu.on_clear(slot);
+                }
+                self.inflight.pop_front();
+                cleared = true;
+            }
+            if !cleared {
+                return;
             }
         }
     }
@@ -824,6 +827,58 @@ mod tests {
         let quiet = sys.quiesce(t);
         let (_, data) = sys.read(quiet, 11 * 64);
         assert_eq!(data, line(0xEE));
+    }
+
+    #[test]
+    fn drain_survives_pipeline_deeper_than_usable_wpq() {
+        // Regression guard for the drain-refill rule. The old `advance`
+        // refilled at most one entry per cleared slot and only when the
+        // pipeline had been *exactly* full before the pop
+        // (`inflight.len() + 1 == drain_depth`). A Post design with a small
+        // physical WPQ has fewer usable entries than the pipeline is deep,
+        // so that "exactly full" condition is unsatisfiable — every drain
+        // start had to be rescued by the next call's fill loop. The fixpoint
+        // loop makes the refill unconditional; this test pins the liveness
+        // contract: an arbitrarily long burst fully drains and every line
+        // is readable from NVM afterwards.
+        let mut config = ControllerConfig::dolos(MiSuKind::Post);
+        config.physical_wpq_entries = 8; // usable (2) < drain depth (11)
+        let mut sys = SecureMemorySystem::new(config);
+        let mut t = Cycle::ZERO;
+        for i in 0..48u64 {
+            t = sys.persist_write(t, i * 64, &line(i as u8 + 1));
+        }
+        let quiet = sys.quiesce(t);
+        for i in 0..48u64 {
+            let (_, data) = sys.read(quiet, i * 64);
+            assert_eq!(data, line(i as u8 + 1), "line {i} lost in the drain");
+        }
+        assert!(sys.retries() > 0, "a 2-entry WPQ must retry under a burst");
+    }
+
+    #[test]
+    fn burst_drain_timing_is_unchanged_by_refill_fix() {
+        // Cycle-exact pin of the quiesce time for a backlogged burst, one
+        // per design kind. The refill restructure must start the same
+        // entries at the same ready times in the same order — any timing
+        // drift (double-starting, reordering, early/late refill) moves
+        // these numbers.
+        for (config, expected) in [
+            (ControllerConfig::baseline(), 53930u64),
+            (ControllerConfig::deferred(), 53730),
+            (ControllerConfig::dolos(MiSuKind::Full), 54051),
+            (ControllerConfig::dolos(MiSuKind::Partial), 53891),
+            (ControllerConfig::dolos(MiSuKind::Post), 53731),
+        ] {
+            let name = config.kind.name();
+            let mut sys = SecureMemorySystem::new(config);
+            let mut t = Cycle::ZERO;
+            for i in 0..32u64 {
+                t = sys.persist_write(t, (i % 24) * 64, &line(i as u8));
+            }
+            let quiet = sys.quiesce(t);
+            assert_eq!(quiet.as_u64(), expected, "{name} quiesce time drifted");
+        }
     }
 
     #[test]

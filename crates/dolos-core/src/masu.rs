@@ -19,7 +19,7 @@
 //! after which the write is recoverable without the WPQ entry (paper §4.4:
 //! steps ③ and ④ can proceed in parallel once the log is ready).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dolos_crypto::aes::Aes128;
 use dolos_crypto::ctr::{generate_pad, xor_in_place, IvBuilder};
@@ -34,6 +34,7 @@ use dolos_secmem::ecc::{ecc64, probe_counter};
 use dolos_secmem::layout::MetadataLayout;
 use dolos_secmem::shadow::ShadowTable;
 use dolos_secmem::toc::TreeOfCounters;
+use dolos_sim::flat::FlatMap;
 use dolos_sim::resource::Pipeline;
 use dolos_sim::stats::StatSet;
 use dolos_sim::Cycle;
@@ -77,9 +78,11 @@ pub struct MajorSecurityUnit {
     tree: Tree,
     /// Persistent ECC bits co-located with each data line (keyed by line
     /// index). Nonvolatile: survives crashes like the data it rides with.
-    ecc: HashMap<u64, u64>,
+    /// Flat and sorted: lookups dominate, and audits iterate it in key
+    /// order so results never depend on hasher state.
+    ecc: FlatMap<u64>,
     /// Updates per counter block since its last NVM write-back.
-    pending_counter_updates: HashMap<u64, u64>,
+    pending_counter_updates: FlatMap<u64>,
     osiris_phase: u64,
     engine: Pipeline,
     writes_processed: u64,
@@ -89,12 +92,17 @@ pub struct MajorSecurityUnit {
 
 impl MajorSecurityUnit {
     /// Creates a Ma-SU over `layout` with the given scheme and caches.
+    // The argument list mirrors ControllerConfig's knob-per-field layout;
+    // bundling them into an ad-hoc struct would just duplicate that config.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         scheme: UpdateScheme,
         layout: MetadataLayout,
         latency: CryptoLatency,
         counter_cache_bytes: usize,
         counter_cache_ways: usize,
+        mt_cache_bytes: usize,
+        mt_cache_ways: usize,
         osiris_phase: u64,
         key_seed: u64,
     ) -> Self {
@@ -107,12 +115,14 @@ impl MajorSecurityUnit {
         let mac = MacEngine::new(mac_key);
         let pages = layout.pages();
         let tree = match scheme {
-            UpdateScheme::EagerMerkle => Tree::Eager(BonsaiMerkleTree::new(pages, mac.clone())),
-            UpdateScheme::LazyToc => Tree::Lazy(TreeOfCounters::new(pages, mac.clone())),
+            UpdateScheme::EagerMerkle => Tree::Eager(BonsaiMerkleTree::new(pages, &mac)),
+            UpdateScheme::LazyToc => Tree::Lazy(TreeOfCounters::new(pages, &mac)),
         };
         let cache = SetAssocCache::with_capacity_bytes(counter_cache_bytes, counter_cache_ways);
-        let mt_cache = SetAssocCache::with_capacity_bytes(256 * 1024, 8);
-        let shadow_capacity = counter_cache_bytes / 64 + 256 * 1024 / 64;
+        let mt_cache = SetAssocCache::with_capacity_bytes(mt_cache_bytes, mt_cache_ways);
+        // Anubis must be able to track every metadata line either cache can
+        // hold, so its capacity follows both cache sizes.
+        let shadow_capacity = counter_cache_bytes / 64 + mt_cache_bytes / 64;
         Self {
             scheme,
             layout,
@@ -122,8 +132,8 @@ impl MajorSecurityUnit {
             mt_cache,
             shadow: ShadowTable::new(shadow_capacity),
             tree,
-            ecc: HashMap::new(),
-            pending_counter_updates: HashMap::new(),
+            ecc: FlatMap::new(),
+            pending_counter_updates: FlatMap::new(),
             osiris_phase,
             engine: {
                 // The integrity-tree update MACs for one write are serial
@@ -190,7 +200,7 @@ impl MajorSecurityUnit {
                 if let Some(ev) = self.counter_cache.fill(page, line, false) {
                     if ev.dirty {
                         nvm.write_line(now, self.layout.counter_block_addr(ev.key), &ev.data);
-                        self.pending_counter_updates.remove(&ev.key);
+                        self.pending_counter_updates.remove(ev.key);
                     }
                     self.shadow.remove(ev.key);
                 }
@@ -215,13 +225,13 @@ impl MajorSecurityUnit {
             if let Some(ev) = self.counter_cache.fill(page, line, true) {
                 if ev.dirty {
                     nvm.write_line(now, self.layout.counter_block_addr(ev.key), &ev.data);
-                    self.pending_counter_updates.remove(&ev.key);
+                    self.pending_counter_updates.remove(ev.key);
                 }
                 self.shadow.remove(ev.key);
             }
             self.shadow.record(page);
         }
-        let pending = self.pending_counter_updates.entry(page).or_insert(0);
+        let pending = self.pending_counter_updates.get_mut_or_insert(page, 0);
         *pending += 1;
         if force_writeback || *pending >= self.osiris_phase {
             // Osiris stop-loss: persist the counter block.
@@ -276,9 +286,9 @@ impl MajorSecurityUnit {
     fn update_tree(&mut self, page: u64, counter_line: &Line) {
         match &mut self.tree {
             Tree::Eager(bmt) => {
-                bmt.update_leaf(page, counter_line);
+                bmt.update_leaf(&self.mac, page, counter_line);
             }
-            Tree::Lazy(toc) => toc.update_leaf(page, counter_line),
+            Tree::Lazy(toc) => toc.update_leaf(&self.mac, page, counter_line),
         }
     }
 
@@ -301,7 +311,7 @@ impl MajorSecurityUnit {
             }
             let addr = LineAddr::containing(page * 4096 + line_in_page as u64 * 64);
             let line_index = addr.line_index();
-            let Some(&ecc) = self.ecc.get(&line_index) else {
+            let Some(&ecc) = self.ecc.get(line_index) else {
                 continue; // never written
             };
             let old_ct = nvm.peek(addr);
@@ -445,7 +455,7 @@ impl MajorSecurityUnit {
             "read outside protected region"
         );
         self.reads_served += 1;
-        if !self.ecc.contains_key(&addr.line_index()) {
+        if !self.ecc.contains_key(addr.line_index()) {
             return Ok((now + 1, [0u8; 64]));
         }
         let page = addr.page_index();
@@ -498,12 +508,16 @@ impl MajorSecurityUnit {
         // Anubis tracks both counter blocks and MT nodes; only counter
         // blocks (no level tag in the high bits) need Osiris rebuilding —
         // interior nodes are recomputed wholesale below.
-        let tracked: Vec<u64> = self
+        let mut tracked: Vec<u64> = self
             .shadow
             .tracked()
             .into_iter()
             .filter(|k| k >> 56 == 0)
             .collect();
+        // Replay in ascending page order: recovery work (and its cycle
+        // accounting) must be a pure function of the tracked set, not of
+        // the order the shadow table happened to allocate slots.
+        tracked.sort_unstable();
         // Shadow-table scan + one counter-block read per tracked page.
         report.cycles += (tracked.len() as u64).div_ceil(8) * NVM_READ;
         for page in &tracked {
@@ -514,7 +528,7 @@ impl MajorSecurityUnit {
             let mut changed = false;
             for line_in_page in 0..64 {
                 let addr = LineAddr::containing(page * 4096 + line_in_page as u64 * 64);
-                let Some(&ecc) = self.ecc.get(&addr.line_index()) else {
+                let Some(&ecc) = self.ecc.get(addr.line_index()) else {
                     continue;
                 };
                 let ciphertext = nvm.peek(addr);
@@ -565,12 +579,12 @@ impl MajorSecurityUnit {
         match &mut self.tree {
             Tree::Eager(bmt) => {
                 let expected_root = bmt.root();
-                let mut rebuilt = BonsaiMerkleTree::new(self.layout.pages(), self.mac.clone());
+                let mut rebuilt = BonsaiMerkleTree::new(self.layout.pages(), &self.mac);
                 let base = self.layout.counter_block_addr(0).as_u64();
                 let end = base + self.layout.pages() * 64;
                 for addr in nvm.resident_lines_in(base, end) {
                     let page = (addr.as_u64() - base) / 64;
-                    rebuilt.update_leaf(page, &nvm.peek(addr));
+                    rebuilt.update_leaf(&self.mac, page, &nvm.peek(addr));
                     report.cycles +=
                         NVM_READ + rebuilt.height() as u64 * dolos_crypto::latency::MAC_LATENCY;
                 }
@@ -580,7 +594,7 @@ impl MajorSecurityUnit {
                 *bmt = rebuilt;
             }
             Tree::Lazy(toc) => {
-                toc.recover()
+                toc.recover(&self.mac)
                     .map_err(|_| SecurityError::TocShadowTampered)?;
             }
         }
@@ -593,7 +607,7 @@ impl MajorSecurityUnit {
         let layout = self.layout;
         let base = layout.counter_block_addr(0).as_u64();
         let end = base + layout.pages() * 64;
-        let mut contents: HashMap<u64, Line> = HashMap::new();
+        let mut contents: BTreeMap<u64, Line> = BTreeMap::new();
         for addr in nvm.resident_lines_in(base, end) {
             contents.insert((addr.as_u64() - base) / 64, nvm.peek(addr));
         }
@@ -610,7 +624,7 @@ impl MajorSecurityUnit {
             }
             Tree::Lazy(toc) => {
                 for (&page, line) in &contents {
-                    if !toc.verify_leaf(page, line) {
+                    if !toc.verify_leaf(&self.mac, page, line) {
                         return Err(SecurityError::TreeRootMismatch);
                     }
                 }
@@ -639,7 +653,17 @@ mod tests {
     fn masu(scheme: UpdateScheme) -> (MajorSecurityUnit, NvmDevice) {
         let layout = MetadataLayout::new(1 << 20);
         (
-            MajorSecurityUnit::new(scheme, layout, CryptoLatency::default(), 8 * 1024, 4, 4, 7),
+            MajorSecurityUnit::new(
+                scheme,
+                layout,
+                CryptoLatency::default(),
+                8 * 1024,
+                4,
+                256 * 1024,
+                8,
+                4,
+                7,
+            ),
             NvmDevice::new(),
         )
     }

@@ -12,10 +12,15 @@
 //!
 //! Untouched subtrees use per-level *default* MACs (the MAC of eight default
 //! children), so a tree over millions of pages initializes in O(height).
+//!
+//! The tree does not own a [`MacEngine`]: the engine models a hardware AES
+//! unit shared by every metadata structure in the Ma-SU, so tree operations
+//! borrow it from the caller. This keeps tree construction (including the
+//! from-scratch rebuild at recovery) free of key-schedule copies.
 
 use dolos_crypto::mac::{Mac64, MacEngine};
 use dolos_nvm::Line;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Tree arity (8-ary, Table 1).
 pub const ARITY: u64 = 8;
@@ -28,18 +33,18 @@ pub const ARITY: u64 = 8;
 /// use dolos_crypto::mac::MacEngine;
 /// use dolos_secmem::bmt::BonsaiMerkleTree;
 ///
-/// let mut tree = BonsaiMerkleTree::new(64, MacEngine::new([1; 16]));
+/// let engine = MacEngine::new([1; 16]);
+/// let mut tree = BonsaiMerkleTree::new(64, &engine);
 /// let root0 = tree.root();
-/// tree.update_leaf(5, &[0xAB; 64]);
+/// tree.update_leaf(&engine, 5, &[0xAB; 64]);
 /// assert_ne!(tree.root(), root0);
-/// assert!(tree.verify_leaf(5, &[0xAB; 64]));
-/// assert!(!tree.verify_leaf(5, &[0xAC; 64]));
+/// assert!(tree.verify_leaf(&engine, 5, &[0xAB; 64]));
+/// assert!(!tree.verify_leaf(&engine, 5, &[0xAC; 64]));
 /// ```
 #[derive(Debug, Clone)]
 pub struct BonsaiMerkleTree {
     leaves: u64,
     height: usize,
-    engine: MacEngine,
     /// `nodes[level]` maps node index to MAC; absent nodes hold the level's
     /// default. Level 0 holds leaf MACs.
     nodes: Vec<HashMap<u64, Mac64>>,
@@ -54,7 +59,7 @@ impl BonsaiMerkleTree {
     /// # Panics
     ///
     /// Panics if `leaves` is zero.
-    pub fn new(leaves: u64, engine: MacEngine) -> Self {
+    pub fn new(leaves: u64, engine: &MacEngine) -> Self {
         assert!(leaves > 0, "tree must cover at least one leaf");
         let mut height = 0usize;
         let mut width = leaves;
@@ -72,14 +77,13 @@ impl BonsaiMerkleTree {
         defaults.push(engine.tag(&[0u8; 64]));
         for l in 1..=height {
             let child = defaults[l - 1];
-            let parts: Vec<&[u8]> = (0..ARITY as usize).map(|_| &child[..]).collect();
+            let parts: [&[u8]; ARITY as usize] = [&child[..]; ARITY as usize];
             defaults.push(engine.tag_parts(&parts));
         }
         let root = defaults[height];
         Self {
             leaves,
             height,
-            engine,
             nodes: vec![HashMap::new(); height + 1],
             defaults,
             root,
@@ -115,12 +119,11 @@ impl BonsaiMerkleTree {
             .unwrap_or(self.defaults[level])
     }
 
-    fn parent_mac(&self, level: usize, parent_index: u64) -> Mac64 {
-        let children: Vec<Mac64> = (0..ARITY)
-            .map(|c| self.node(level - 1, parent_index * ARITY + c))
-            .collect();
-        let parts: Vec<&[u8]> = children.iter().map(|m| &m[..]).collect();
-        self.engine.tag_parts(&parts)
+    fn parent_mac(&self, engine: &MacEngine, level: usize, parent_index: u64) -> Mac64 {
+        let children: [Mac64; ARITY as usize] =
+            core::array::from_fn(|c| self.node(level - 1, parent_index * ARITY + c as u64));
+        let parts: [&[u8]; ARITY as usize] = core::array::from_fn(|c| &children[c][..]);
+        engine.tag_parts(&parts)
     }
 
     /// Eagerly updates the path for leaf `index` whose new content is
@@ -129,14 +132,14 @@ impl BonsaiMerkleTree {
     /// # Panics
     ///
     /// Panics if `index` is out of range.
-    pub fn update_leaf(&mut self, index: u64, leaf_line: &Line) -> Mac64 {
+    pub fn update_leaf(&mut self, engine: &MacEngine, index: u64, leaf_line: &Line) -> Mac64 {
         assert!(index < self.leaves, "leaf index out of range");
         self.updates += 1;
-        self.nodes[0].insert(index, self.engine.tag(leaf_line));
+        self.nodes[0].insert(index, engine.tag(leaf_line));
         let mut idx = index;
         for level in 1..=self.height {
             idx /= ARITY;
-            let mac = self.parent_mac(level, idx);
+            let mac = self.parent_mac(engine, level, idx);
             self.nodes[level].insert(idx, mac);
         }
         self.root = self.node(self.height, 0);
@@ -144,11 +147,11 @@ impl BonsaiMerkleTree {
     }
 
     /// Verifies leaf `index` content against the tree path and root.
-    pub fn verify_leaf(&self, index: u64, leaf_line: &Line) -> bool {
+    pub fn verify_leaf(&self, engine: &MacEngine, index: u64, leaf_line: &Line) -> bool {
         if index >= self.leaves {
             return false;
         }
-        if self.engine.tag(leaf_line) != self.node(0, index) {
+        if engine.tag(leaf_line) != self.node(0, index) {
             return false;
         }
         // Walk up re-deriving each parent from stored children; the stored
@@ -156,7 +159,7 @@ impl BonsaiMerkleTree {
         let mut idx = index;
         for level in 1..=self.height {
             idx /= ARITY;
-            if self.parent_mac(level, idx) != self.node(level, idx) {
+            if self.parent_mac(engine, level, idx) != self.node(level, idx) {
                 return false;
             }
         }
@@ -166,12 +169,20 @@ impl BonsaiMerkleTree {
     /// Recomputes the root from scratch given every non-default leaf, as
     /// recovery does after rebuilding counters (AGIT/Anubis recovery).
     ///
+    /// The contents are keyed in a [`BTreeMap`] so the rebuild replays
+    /// leaves in ascending index order — recovery work must not depend on
+    /// hash-map iteration order.
+    ///
     /// Returns the recomputed root; callers compare it with the persistent
     /// root register to detect tampering.
-    pub fn recompute_root(engine: &MacEngine, leaves: u64, contents: &HashMap<u64, Line>) -> Mac64 {
-        let mut rebuilt = BonsaiMerkleTree::new(leaves, engine.clone());
+    pub fn recompute_root(
+        engine: &MacEngine,
+        leaves: u64,
+        contents: &BTreeMap<u64, Line>,
+    ) -> Mac64 {
+        let mut rebuilt = BonsaiMerkleTree::new(leaves, engine);
         for (&idx, line) in contents {
-            rebuilt.update_leaf(idx, line);
+            rebuilt.update_leaf(engine, idx, line);
         }
         rebuilt.root()
     }
@@ -210,16 +221,21 @@ pub fn data_mac(engine: &MacEngine, addr: u64, counter: u64, ciphertext: &Line) 
 mod tests {
     use super::*;
 
+    fn engine() -> MacEngine {
+        MacEngine::new([7; 16])
+    }
+
     fn tree(leaves: u64) -> BonsaiMerkleTree {
-        BonsaiMerkleTree::new(leaves, MacEngine::new([7; 16]))
+        BonsaiMerkleTree::new(leaves, &engine())
     }
 
     #[test]
     fn fresh_tree_verifies_default_leaves() {
         let t = tree(100);
-        assert!(t.verify_leaf(0, &[0; 64]));
-        assert!(t.verify_leaf(99, &[0; 64]));
-        assert!(!t.verify_leaf(0, &[1; 64]));
+        let e = engine();
+        assert!(t.verify_leaf(&e, 0, &[0; 64]));
+        assert!(t.verify_leaf(&e, 99, &[0; 64]));
+        assert!(!t.verify_leaf(&e, 0, &[1; 64]));
     }
 
     #[test]
@@ -234,64 +250,70 @@ mod tests {
     #[test]
     fn update_changes_root_and_verifies() {
         let mut t = tree(64);
+        let e = engine();
         let r0 = t.root();
-        let r1 = t.update_leaf(3, &[9; 64]);
+        let r1 = t.update_leaf(&e, 3, &[9; 64]);
         assert_ne!(r0, r1);
-        assert!(t.verify_leaf(3, &[9; 64]));
+        assert!(t.verify_leaf(&e, 3, &[9; 64]));
         // Sibling leaves still verify with default content.
-        assert!(t.verify_leaf(4, &[0; 64]));
+        assert!(t.verify_leaf(&e, 4, &[0; 64]));
     }
 
     #[test]
     fn stale_leaf_fails_verification() {
         let mut t = tree(64);
-        t.update_leaf(3, &[1; 64]);
-        t.update_leaf(3, &[2; 64]);
-        assert!(!t.verify_leaf(3, &[1; 64])); // replay of old content
-        assert!(t.verify_leaf(3, &[2; 64]));
+        let e = engine();
+        t.update_leaf(&e, 3, &[1; 64]);
+        t.update_leaf(&e, 3, &[2; 64]);
+        assert!(!t.verify_leaf(&e, 3, &[1; 64])); // replay of old content
+        assert!(t.verify_leaf(&e, 3, &[2; 64]));
     }
 
     #[test]
     fn tampered_interior_node_is_detected() {
         let mut t = tree(64);
-        t.update_leaf(3, &[1; 64]);
+        let e = engine();
+        t.update_leaf(&e, 3, &[1; 64]);
         t.tamper_node(1, 0, [0xFF; 8]);
-        assert!(!t.verify_leaf(3, &[1; 64]));
+        assert!(!t.verify_leaf(&e, 3, &[1; 64]));
     }
 
     #[test]
     fn swapped_leaves_are_detected() {
         let mut t = tree(64);
-        t.update_leaf(1, &[1; 64]);
-        t.update_leaf(2, &[2; 64]);
+        let e = engine();
+        t.update_leaf(&e, 1, &[1; 64]);
+        t.update_leaf(&e, 2, &[2; 64]);
         // Attacker swaps stored contents: leaf 1 presents leaf 2's data.
-        assert!(!t.verify_leaf(1, &[2; 64]));
+        assert!(!t.verify_leaf(&e, 1, &[2; 64]));
     }
 
     #[test]
     fn recompute_root_matches_incremental() {
         let mut t = tree(200);
-        let mut contents = HashMap::new();
+        let e = engine();
+        let mut contents = BTreeMap::new();
         for i in [0u64, 7, 63, 64, 199] {
             let line = [i as u8 + 1; 64];
-            t.update_leaf(i, &line);
+            t.update_leaf(&e, i, &line);
             contents.insert(i, line);
         }
-        let recomputed = BonsaiMerkleTree::recompute_root(&MacEngine::new([7; 16]), 200, &contents);
+        let recomputed = BonsaiMerkleTree::recompute_root(&e, 200, &contents);
         assert_eq!(recomputed, t.root());
     }
 
     #[test]
     fn recompute_root_detects_corruption() {
         let mut t = tree(200);
-        let mut contents = HashMap::new();
+        let e = engine();
+        let mut contents = BTreeMap::new();
         for i in 0u64..5 {
             let line = [i as u8 + 1; 64];
-            t.update_leaf(i, &line);
+            t.update_leaf(&e, i, &line);
             contents.insert(i, line);
         }
         contents.insert(2, [0xEE; 64]); // corrupted recovered leaf
-        let recomputed = BonsaiMerkleTree::recompute_root(&MacEngine::new([7; 16]), 200, &contents);
+        let recomputed = BonsaiMerkleTree::recompute_root(&e, 200, &contents);
         assert_ne!(recomputed, t.root());
     }
 
@@ -309,12 +331,12 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn update_out_of_range_panics() {
         let mut t = tree(8);
-        t.update_leaf(8, &[0; 64]);
+        t.update_leaf(&engine(), 8, &[0; 64]);
     }
 
     #[test]
     fn out_of_range_verify_is_false() {
         let t = tree(8);
-        assert!(!t.verify_leaf(8, &[0; 64]));
+        assert!(!t.verify_leaf(&engine(), 8, &[0; 64]));
     }
 }

@@ -53,20 +53,20 @@ fn node_key(level: usize, index: u64) -> (usize, u64) {
 /// use dolos_crypto::mac::MacEngine;
 /// use dolos_secmem::toc::TreeOfCounters;
 ///
-/// let mut toc = TreeOfCounters::new(64, MacEngine::new([2; 16]));
-/// toc.update_leaf(3, &[1; 64]);
-/// assert!(toc.verify_leaf(3, &[1; 64]));
+/// let engine = MacEngine::new([2; 16]);
+/// let mut toc = TreeOfCounters::new(64, &engine);
+/// toc.update_leaf(&engine, 3, &[1; 64]);
+/// assert!(toc.verify_leaf(&engine, 3, &[1; 64]));
 ///
 /// // Crash before eviction: cached state is lost but recoverable.
 /// toc.crash();
-/// assert!(toc.recover().is_ok());
-/// assert!(toc.verify_leaf(3, &[1; 64]));
+/// assert!(toc.recover(&engine).is_ok());
+/// assert!(toc.verify_leaf(&engine, 3, &[1; 64]));
 /// ```
 #[derive(Debug, Clone)]
 pub struct TreeOfCounters {
     leaves: u64,
     height: usize,
-    engine: MacEngine,
     /// Persistent (NVM) tree nodes; stale for lazily-updated paths.
     main: HashMap<(usize, u64), TocNode>,
     /// Persistent (NVM) leaf MACs, keyed by leaf index.
@@ -102,7 +102,7 @@ impl TreeOfCounters {
     /// # Panics
     ///
     /// Panics if `leaves` is zero.
-    pub fn new(leaves: u64, engine: MacEngine) -> Self {
+    pub fn new(leaves: u64, engine: &MacEngine) -> Self {
         assert!(leaves > 0, "tree must cover at least one leaf");
         let mut height = 0usize;
         let mut width = leaves;
@@ -114,7 +114,6 @@ impl TreeOfCounters {
         let mut toc = Self {
             leaves,
             height,
-            engine,
             main: HashMap::new(),
             main_leaf_macs: HashMap::new(),
             cache: HashMap::new(),
@@ -125,7 +124,7 @@ impl TreeOfCounters {
             root_counter: 0,
             updates: 0,
         };
-        toc.shadow_root = toc.compute_shadow_root();
+        toc.shadow_root = toc.compute_shadow_root(engine);
         toc
     }
 
@@ -166,7 +165,7 @@ impl TreeOfCounters {
             .unwrap_or([0; 8])
     }
 
-    fn node_mac(&self, level: usize, index: u64, node: &TocNode) -> Mac64 {
+    fn node_mac(&self, engine: &MacEngine, level: usize, index: u64, node: &TocNode) -> Mac64 {
         let parent_counter = if level == self.height {
             self.root_counter
         } else {
@@ -179,16 +178,15 @@ impl TreeOfCounters {
         bytes.extend_from_slice(&parent_counter.to_le_bytes());
         bytes.extend_from_slice(&(level as u64).to_le_bytes());
         bytes.extend_from_slice(&index.to_le_bytes());
-        self.engine.tag(&bytes)
+        engine.tag(&bytes)
     }
 
-    fn leaf_mac_value(&self, index: u64, leaf_line: &Line) -> Mac64 {
+    fn leaf_mac_value(&self, engine: &MacEngine, index: u64, leaf_line: &Line) -> Mac64 {
         let version = self.node(1, index / ARITY).counters[(index % ARITY) as usize];
-        self.engine
-            .tag_parts(&[&index.to_le_bytes(), &version.to_le_bytes(), leaf_line])
+        engine.tag_parts(&[&index.to_le_bytes(), &version.to_le_bytes(), leaf_line])
     }
 
-    fn compute_shadow_root(&self) -> Mac64 {
+    fn compute_shadow_root(&self, engine: &MacEngine) -> Mac64 {
         let mut bytes = Vec::new();
         for (&(level, index), node) in &self.shadow {
             bytes.extend_from_slice(&(level as u64).to_le_bytes());
@@ -203,7 +201,7 @@ impl TreeOfCounters {
             bytes.extend_from_slice(mac);
         }
         bytes.extend_from_slice(&self.root_counter.to_le_bytes());
-        self.engine.tag(&bytes)
+        engine.tag(&bytes)
     }
 
     /// Updates leaf `index` to `leaf_line`: increments version counters up
@@ -217,7 +215,7 @@ impl TreeOfCounters {
     /// # Panics
     ///
     /// Panics if `index` is out of range.
-    pub fn update_leaf(&mut self, index: u64, leaf_line: &Line) {
+    pub fn update_leaf(&mut self, engine: &MacEngine, index: u64, leaf_line: &Line) {
         assert!(index < self.leaves, "leaf index out of range");
         self.updates += 1;
         // Bump version counters bottom-up in the cached copies.
@@ -241,10 +239,10 @@ impl TreeOfCounters {
         }
         for &(level, node_idx) in path.iter().rev() {
             let mut node = self.node(level, node_idx);
-            node.mac = self.node_mac(level, node_idx, &node);
+            node.mac = self.node_mac(engine, level, node_idx, &node);
             self.cache.insert(node_key(level, node_idx), node);
         }
-        let mac = self.leaf_mac_value(index, leaf_line);
+        let mac = self.leaf_mac_value(engine, index, leaf_line);
         self.cache_leaf_macs.insert(index, mac);
         // Write-through to the shadow region; eagerly update its root.
         for &(level, node_idx) in &path {
@@ -252,22 +250,22 @@ impl TreeOfCounters {
                 .insert(node_key(level, node_idx), self.node(level, node_idx));
         }
         self.shadow_leaf_macs.insert(index, mac);
-        self.shadow_root = self.compute_shadow_root();
+        self.shadow_root = self.compute_shadow_root(engine);
     }
 
     /// Verifies leaf content against the (cached or persisted) tree.
-    pub fn verify_leaf(&self, index: u64, leaf_line: &Line) -> bool {
+    pub fn verify_leaf(&self, engine: &MacEngine, index: u64, leaf_line: &Line) -> bool {
         if index >= self.leaves {
             return false;
         }
-        if self.leaf_mac_value(index, leaf_line) != self.leaf_mac(index) {
+        if self.leaf_mac_value(engine, index, leaf_line) != self.leaf_mac(index) {
             return false;
         }
         let mut idx = index;
         for level in 1..=self.height {
             idx /= ARITY;
             let node = self.node(level, idx);
-            if self.node_mac(level, idx, &node) != node.mac {
+            if self.node_mac(engine, level, idx, &node) != node.mac {
                 return false;
             }
         }
@@ -276,7 +274,7 @@ impl TreeOfCounters {
 
     /// Evicts every cached node into the main (NVM) tree, emptying the
     /// shadow region — what a metadata-cache flush does.
-    pub fn evict_all(&mut self) {
+    pub fn evict_all(&mut self, engine: &MacEngine) {
         for (key, node) in self.cache.drain() {
             self.main.insert(key, node);
         }
@@ -285,7 +283,7 @@ impl TreeOfCounters {
         }
         self.shadow.clear();
         self.shadow_leaf_macs.clear();
-        self.shadow_root = self.compute_shadow_root();
+        self.shadow_root = self.compute_shadow_root(engine);
     }
 
     /// Models a crash: the volatile cache is lost; main tree, shadow region,
@@ -301,8 +299,8 @@ impl TreeOfCounters {
     ///
     /// Returns [`TocRecoveryError`] if the shadow region does not match the
     /// persistent shadow-root register (tampering).
-    pub fn recover(&mut self) -> Result<(), TocRecoveryError> {
-        if self.compute_shadow_root() != self.shadow_root {
+    pub fn recover(&mut self, engine: &MacEngine) -> Result<(), TocRecoveryError> {
+        if self.compute_shadow_root(engine) != self.shadow_root {
             return Err(TocRecoveryError);
         }
         for (&key, node) in &self.shadow {
@@ -326,83 +324,95 @@ impl TreeOfCounters {
 mod tests {
     use super::*;
 
+    fn engine() -> MacEngine {
+        MacEngine::new([4; 16])
+    }
+
     fn toc(leaves: u64) -> TreeOfCounters {
-        TreeOfCounters::new(leaves, MacEngine::new([4; 16]))
+        TreeOfCounters::new(leaves, &engine())
     }
 
     #[test]
     fn update_then_verify() {
         let mut t = toc(64);
-        t.update_leaf(5, &[1; 64]);
-        assert!(t.verify_leaf(5, &[1; 64]));
-        assert!(!t.verify_leaf(5, &[2; 64]));
+        let e = engine();
+        t.update_leaf(&e, 5, &[1; 64]);
+        assert!(t.verify_leaf(&e, 5, &[1; 64]));
+        assert!(!t.verify_leaf(&e, 5, &[2; 64]));
     }
 
     #[test]
     fn replayed_leaf_fails() {
         let mut t = toc(64);
-        t.update_leaf(5, &[1; 64]);
-        t.update_leaf(5, &[2; 64]);
-        assert!(!t.verify_leaf(5, &[1; 64]));
+        let e = engine();
+        t.update_leaf(&e, 5, &[1; 64]);
+        t.update_leaf(&e, 5, &[2; 64]);
+        assert!(!t.verify_leaf(&e, 5, &[1; 64]));
     }
 
     #[test]
     fn updates_stay_in_cache_until_eviction() {
         let mut t = toc(64);
-        t.update_leaf(5, &[1; 64]);
+        let e = engine();
+        t.update_leaf(&e, 5, &[1; 64]);
         assert!(t.dirty_nodes() > 0);
-        t.evict_all();
+        t.evict_all(&e);
         assert_eq!(t.dirty_nodes(), 0);
-        assert!(t.verify_leaf(5, &[1; 64]));
+        assert!(t.verify_leaf(&e, 5, &[1; 64]));
     }
 
     #[test]
     fn crash_without_recovery_loses_lazy_updates() {
         let mut t = toc(64);
-        t.update_leaf(5, &[1; 64]);
+        let e = engine();
+        t.update_leaf(&e, 5, &[1; 64]);
         t.crash();
         // Stale main tree: the new leaf content no longer verifies.
-        assert!(!t.verify_leaf(5, &[1; 64]));
+        assert!(!t.verify_leaf(&e, 5, &[1; 64]));
     }
 
     #[test]
     fn recovery_restores_cached_state() {
         let mut t = toc(64);
-        t.update_leaf(5, &[1; 64]);
-        t.update_leaf(9, &[2; 64]);
+        let e = engine();
+        t.update_leaf(&e, 5, &[1; 64]);
+        t.update_leaf(&e, 9, &[2; 64]);
         t.crash();
-        t.recover().expect("clean recovery");
-        assert!(t.verify_leaf(5, &[1; 64]));
-        assert!(t.verify_leaf(9, &[2; 64]));
+        t.recover(&e).expect("clean recovery");
+        assert!(t.verify_leaf(&e, 5, &[1; 64]));
+        assert!(t.verify_leaf(&e, 9, &[2; 64]));
     }
 
     #[test]
     fn tampered_shadow_is_detected() {
         let mut t = toc(64);
-        t.update_leaf(5, &[1; 64]);
+        let e = engine();
+        t.update_leaf(&e, 5, &[1; 64]);
         t.crash();
         t.tamper_shadow(1, 0);
-        assert_eq!(t.recover(), Err(TocRecoveryError));
+        assert_eq!(t.recover(&e), Err(TocRecoveryError));
     }
 
     #[test]
     fn eviction_then_crash_needs_no_shadow() {
         let mut t = toc(64);
-        t.update_leaf(5, &[1; 64]);
-        t.evict_all();
+        let e = engine();
+        t.update_leaf(&e, 5, &[1; 64]);
+        t.evict_all(&e);
         t.crash();
-        t.recover().expect("empty shadow verifies");
-        assert!(t.verify_leaf(5, &[1; 64]));
+        t.recover(&e).expect("empty shadow verifies");
+        assert!(t.verify_leaf(&e, 5, &[1; 64]));
     }
 
     #[test]
     fn independent_leaves_do_not_interfere() {
         let mut t = toc(512);
-        t.update_leaf(0, &[1; 64]);
-        t.update_leaf(511, &[2; 64]);
-        assert!(t.verify_leaf(0, &[1; 64]));
-        assert!(t.verify_leaf(511, &[2; 64]));
-        assert!(t.verify_leaf(100, &[0; 64]) || !t.verify_leaf(100, &[1; 64]));
+        let e = engine();
+        t.update_leaf(&e, 0, &[1; 64]);
+        t.update_leaf(&e, 511, &[2; 64]);
+        assert!(t.verify_leaf(&e, 0, &[1; 64]));
+        assert!(t.verify_leaf(&e, 511, &[2; 64]));
+        assert!(t.verify_leaf(&e, 100, &[0; 64]) || !t.verify_leaf(&e, 100, &[1; 64]));
     }
 
     #[test]

@@ -10,7 +10,11 @@
 //!   a global event queue;
 //! * [`rng`] — a small deterministic RNG plus the Zipfian sampler used by the
 //!   YCSB-style workload;
-//! * [`stats`] — counters and histograms shared by the experiment harness.
+//! * [`stats`] — counters and histograms shared by the experiment harness;
+//! * [`pool`] — a deterministic scoped-thread job pool for sweeps whose
+//!   output must not depend on thread count;
+//! * [`flat`] — a sorted flat map used for per-line metadata tables whose
+//!   iteration order must be reproducible.
 //!
 //! The simulation style throughout the workspace is *lazy catch-up*: every
 //! model keeps the cycle at which it next becomes free and advances itself
@@ -33,6 +37,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod flat;
+pub mod pool;
 pub mod resource;
 pub mod rng;
 pub mod stats;

@@ -50,12 +50,17 @@ fn fixed_seed_campaigns_replay_bit_for_bit() {
         keyspace: 32,
         tamper: true,
         workload_txns: 3,
+        jobs: 1,
     };
     let first = run_campaign(&config);
     let second = run_campaign(&config);
     assert_eq!(first, second, "campaign must be deterministic");
     assert_eq!(first.to_json(), second.to_json());
     assert!(first.all_pass(), "{}", first.to_json());
+    // The parallel sweep is part of the same acceptance criterion: any
+    // worker count must reproduce the serial bytes exactly.
+    let parallel = run_campaign(&CampaignConfig { jobs: 4, ..config });
+    assert_eq!(first.to_json(), parallel.to_json());
 }
 
 /// Every secure design recovers to a clean audit from a crash injected at

@@ -81,15 +81,24 @@ fn enumerate(depth: usize, misu: MiSuKind) {
     assert_eq!(checked, ALPHABET.len().pow(depth as u32));
 }
 
+// Debug test runs cover one level less of the sequence space so
+// `cargo test -q` stays fast; `cargo test --release` (CI) enumerates the
+// full depths. The checked-count assertion in `enumerate` parametrizes on
+// the same constants, so coverage is still verified exactly.
+#[cfg(debug_assertions)]
+const DEPTHS: (usize, usize, usize) = (4, 3, 5);
+#[cfg(not(debug_assertions))]
+const DEPTHS: (usize, usize, usize) = (5, 4, 6);
+
 #[test]
 fn exhaustive_depth_5_partial() {
-    enumerate(5, MiSuKind::Partial); // 1024 sequences
+    enumerate(DEPTHS.0, MiSuKind::Partial); // 4^5 = 1024 sequences in release
 }
 
 #[test]
 fn exhaustive_depth_4_full_and_post() {
-    enumerate(4, MiSuKind::Full); // 256 sequences
-    enumerate(4, MiSuKind::Post);
+    enumerate(DEPTHS.1, MiSuKind::Full); // 4^4 = 256 sequences in release
+    enumerate(DEPTHS.1, MiSuKind::Post);
 }
 
 #[test]
@@ -97,7 +106,7 @@ fn exhaustive_write_only_depth_6() {
     // Pure write storms (no draining) stress the ring wraparound hardest.
     let mut stack: Vec<Vec<Op>> = vec![Vec::new()];
     while let Some(seq) = stack.pop() {
-        if seq.len() == 6 {
+        if seq.len() == DEPTHS.2 {
             run_sequence(MiSuKind::Partial, &seq);
             continue;
         }

@@ -5,11 +5,20 @@ use dolos::core::{ControllerConfig, MiSuKind, UpdateScheme};
 use dolos::whisper::runner::{run_workload, RunConfig};
 use dolos::whisper::workloads::WorkloadKind;
 
+// Debug test runs use a reduced workload scale so `cargo test -q` stays
+// fast; `cargo test --release` keeps the full size. The simulator is
+// deterministic, so the profile changes wall-clock only — every trend
+// asserted below was verified to hold at both scales.
+#[cfg(debug_assertions)]
+const SCALE: (usize, usize) = (24, 4);
+#[cfg(not(debug_assertions))]
+const SCALE: (usize, usize) = (120, 16);
+
 fn rc(txn_bytes: usize) -> RunConfig {
     RunConfig {
-        transactions: 120,
+        transactions: SCALE.0,
         txn_bytes,
-        warmup: 16,
+        warmup: SCALE.1,
         ..RunConfig::default()
     }
 }
