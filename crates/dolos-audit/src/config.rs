@@ -1,0 +1,91 @@
+//! The audit policy: which crates and files each lint applies to.
+//!
+//! The policy is data, not code — lints read it, fixtures construct their
+//! own. [`Config::workspace`] is the single source of truth for the real
+//! repository and is what `cargo run -p dolos-audit -- check` enforces.
+
+/// Lint name: hasher-seeded collections in deterministic crates.
+pub const LINT_NONDETERMINISM: &str = "nondeterminism";
+/// Lint name: wall-clock or ambient-entropy reads outside the bench crate.
+pub const LINT_WALL_CLOCK: &str = "wall-clock";
+/// Lint name: unwrap/expect/panic on recovery paths, plus the global ratchet.
+pub const LINT_PANIC_PATH: &str = "panic-path";
+/// Lint name: NVM writes that bypass the write-pending queue.
+pub const LINT_PERSISTENCE_DOMAIN: &str = "persistence-domain";
+/// Lint name: malformed, unknown, or unused `audit:allow` comments.
+pub const LINT_SUPPRESSION: &str = "suppression";
+
+/// Every lint an `audit:allow` comment may name.
+pub const KNOWN_LINTS: [&str; 4] = [
+    LINT_NONDETERMINISM,
+    LINT_WALL_CLOCK,
+    LINT_PANIC_PATH,
+    LINT_PERSISTENCE_DOMAIN,
+];
+
+/// The audit policy for one run.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Crates whose results must be a pure function of their inputs. The
+    /// nondeterminism lint bans hasher-seeded collections here.
+    pub deterministic_crates: Vec<String>,
+    /// Crates allowed to read wall-clock time and ambient entropy.
+    pub clock_exempt_crates: Vec<String>,
+    /// Path suffixes of recovery/crash-oracle files where every panic site
+    /// is an individual finding (no budget).
+    pub strict_panic_files: Vec<String>,
+    /// Path suffixes of files allowed to call `NvmDevice` write methods
+    /// directly (the device itself plus the controller-side drain/dump and
+    /// recovery code that sits below the WPQ).
+    pub sanctioned_persistence_files: Vec<String>,
+    /// Maximum unsuppressed panic sites outside strict files, workspace
+    /// wide. This number may only go DOWN: lowering it after a cleanup
+    /// prevents regressions; raising it needs a written justification in
+    /// the PR that does so.
+    pub panic_budget: usize,
+}
+
+impl Config {
+    /// The policy enforced on this repository.
+    pub fn workspace() -> Self {
+        Self {
+            deterministic_crates: to_vec(&[
+                "dolos",
+                "dolos-core",
+                "dolos-crypto",
+                "dolos-secmem",
+                "dolos-nvm",
+                "dolos-sim",
+                "dolos-chaos",
+                "dolos-whisper",
+            ]),
+            clock_exempt_crates: to_vec(&["dolos-bench"]),
+            strict_panic_files: to_vec(&[
+                "dolos-core/src/masu.rs",
+                "dolos-whisper/src/oracle.rs",
+                "dolos-chaos/src/driver.rs",
+                "dolos-chaos/src/campaign.rs",
+                "dolos-chaos/src/schedule.rs",
+                "dolos-chaos/src/shrink.rs",
+            ]),
+            sanctioned_persistence_files: to_vec(&[
+                "dolos-nvm/src/device.rs",
+                "dolos-core/src/masu.rs",
+                "dolos-core/src/controller.rs",
+                "dolos-core/src/misu.rs",
+            ]),
+            // Ratchet: 43 sites when the audit landed (PR 3). Only lower it.
+            panic_budget: 43,
+        }
+    }
+
+    /// Whether `path` (repo-relative, `/`-separated) ends with one of the
+    /// given suffixes.
+    pub fn path_matches(path: &str, suffixes: &[String]) -> bool {
+        suffixes.iter().any(|s| path.ends_with(s.as_str()))
+    }
+}
+
+fn to_vec(items: &[&str]) -> Vec<String> {
+    items.iter().map(|s| s.to_string()).collect()
+}

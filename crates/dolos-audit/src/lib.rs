@@ -1,0 +1,89 @@
+//! `dolos-audit`: a dependency-free static analyzer for the Dolos workspace.
+//!
+//! The simulator's headline guarantee is that every result — benchmark
+//! cycle counts, chaos campaign verdicts, recovery replays — is a pure
+//! function of its inputs. The type system cannot see the ways that
+//! guarantee quietly erodes: a `HashMap` whose iteration order varies with
+//! the process hasher seed (the exact bug once hit in Ma-SU recovery
+//! replay), an `Instant::now()` that couples results to the host, an
+//! `.unwrap()` on a recovery path that turns a modelled crash into a real
+//! one, or an `NvmDevice` write that slips past the write-pending queue.
+//!
+//! This crate enforces those invariants at the source level: a hand-rolled
+//! comment- and string-aware lexer ([`lexer`]) feeds token-pattern lints
+//! ([`lints`]) configured by a central policy ([`config`]). Run it with:
+//!
+//! ```text
+//! cargo run -p dolos-audit -- check [--json] [--root <path>]
+//! ```
+//!
+//! Intentional exceptions are annotated in place and must carry a reason:
+//!
+//! ```text
+//! // audit:allow(<lint>) -- <why this site is exempt>
+//! ```
+//!
+//! Suppressions that stop matching anything fail the audit, so the
+//! exception list can only shrink alongside the code it describes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod lexer;
+pub mod lints;
+pub mod report;
+pub mod walk;
+
+use config::{Config, LINT_PANIC_PATH};
+use lints::{audit_file, SourceFile};
+use report::{Finding, Report};
+
+/// Audits a set of files under one policy.
+pub fn audit_files(files: &[SourceFile], config: &Config) -> Report {
+    let mut findings = Vec::new();
+    let mut panic_sites = 0usize;
+    for file in files {
+        let out = audit_file(file, config);
+        findings.extend(out.findings);
+        panic_sites += out.panic_sites;
+    }
+    if panic_sites > config.panic_budget {
+        findings.push(Finding {
+            file: "(workspace)".into(),
+            line: 0,
+            lint: LINT_PANIC_PATH.into(),
+            message: format!(
+                "{panic_sites} unsuppressed unwrap/expect/panic sites outside \
+                 strict files exceed the ratchet budget of {}; remove sites or \
+                 annotate them with `audit:allow(panic-path) -- <reason>` (the \
+                 budget only ratchets down)",
+                config.panic_budget
+            ),
+        });
+    }
+    findings.sort();
+    Report {
+        findings,
+        files_scanned: files.len(),
+        panic_sites,
+    }
+}
+
+/// Audits one source string under a synthetic path/crate (fixture helper).
+pub fn audit_source(path: &str, krate: &str, text: &str, config: &Config) -> Report {
+    audit_files(
+        &[SourceFile {
+            path: path.to_string(),
+            krate: krate.to_string(),
+            text: text.to_string(),
+        }],
+        config,
+    )
+}
+
+/// Runs the workspace audit rooted at `root` with the standard policy.
+pub fn check_workspace(root: &std::path::Path) -> std::io::Result<Report> {
+    let files = walk::collect_workspace(root)?;
+    Ok(audit_files(&files, &Config::workspace()))
+}

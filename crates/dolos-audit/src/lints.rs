@@ -1,0 +1,294 @@
+//! The lint registry: token-pattern rules plus the suppression mechanism.
+//!
+//! Each lint walks the token stream of one file (test regions excluded) and
+//! emits [`Finding`]s. A finding can be silenced with a line comment on the
+//! same line or the line above:
+//!
+//! ```text
+//! // audit:allow(<lint>) -- <reason>
+//! ```
+//!
+//! The reason is mandatory — an allow without a written justification is
+//! itself a finding — and every suppression must match a real finding, so
+//! stale allows fail the audit instead of rotting in place.
+
+use crate::config::{
+    Config, KNOWN_LINTS, LINT_NONDETERMINISM, LINT_PANIC_PATH, LINT_PERSISTENCE_DOMAIN,
+    LINT_SUPPRESSION, LINT_WALL_CLOCK,
+};
+use crate::lexer::{in_regions, lex, test_regions, Comment, Token, TokenKind};
+use crate::report::Finding;
+
+/// One source file presented to the audit.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Repo-relative, `/`-separated path (e.g. `crates/dolos-core/src/masu.rs`).
+    pub path: String,
+    /// The crate the file belongs to (e.g. `dolos-core`).
+    pub krate: String,
+    /// File contents.
+    pub text: String,
+}
+
+/// Collections whose iteration order depends on the process hasher seed.
+const HASHER_SEEDED: [&str; 4] = ["HashMap", "HashSet", "RandomState", "DefaultHasher"];
+
+/// Identifiers that read host wall-clock time or ambient entropy.
+const AMBIENT_HOST_STATE: [&str; 5] = [
+    "Instant",
+    "SystemTime",
+    "thread_rng",
+    "from_entropy",
+    "getrandom",
+];
+
+/// Macros that abort instead of returning an error.
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// `NvmDevice` methods that write lines without passing through the WPQ.
+const DEVICE_WRITE_METHODS: [&str; 5] = [
+    "poke",
+    "write_line",
+    "write_line_ticket",
+    "restore_lines",
+    "replay_snapshot",
+];
+
+/// Result of auditing one file.
+#[derive(Debug, Default)]
+pub struct FileAudit {
+    /// Findings that survived suppression, plus suppression-hygiene findings.
+    pub findings: Vec<Finding>,
+    /// Unsuppressed panic sites outside strict files (ratchet budget input).
+    pub panic_sites: usize,
+}
+
+#[derive(Debug)]
+struct Suppression {
+    lint: String,
+    line: u32,
+    used: bool,
+}
+
+/// Runs every applicable lint over one file.
+pub fn audit_file(file: &SourceFile, config: &Config) -> FileAudit {
+    let lexed = lex(&file.text);
+    let regions = test_regions(&lexed.tokens);
+    let mut out = FileAudit::default();
+    let mut suppressions =
+        parse_suppressions(&lexed.comments, &regions, &file.path, &mut out.findings);
+
+    let mut raw: Vec<Finding> = Vec::new();
+    let tokens: Vec<&Token> = lexed
+        .tokens
+        .iter()
+        .filter(|t| !in_regions(&regions, t.line))
+        .collect();
+
+    if config.deterministic_crates.contains(&file.krate) {
+        lint_nondeterminism(&tokens, &file.path, &mut raw);
+    }
+    if !config.clock_exempt_crates.contains(&file.krate) {
+        lint_wall_clock(&tokens, &file.path, &mut raw);
+    }
+    let strict = Config::path_matches(&file.path, &config.strict_panic_files);
+    let panic_lines = panic_site_lines(&tokens);
+    if strict {
+        for (line, what) in &panic_lines {
+            raw.push(Finding {
+                file: file.path.clone(),
+                line: *line,
+                lint: LINT_PANIC_PATH.into(),
+                message: format!(
+                    "`{what}` on a recovery/crash-oracle path; return a typed \
+                     error (SecurityError / oracle verdict) instead of aborting"
+                ),
+            });
+        }
+    }
+    if !Config::path_matches(&file.path, &config.sanctioned_persistence_files) {
+        lint_persistence_domain(&tokens, &file.path, &mut raw);
+    }
+
+    // Apply suppressions to the raw findings.
+    for finding in raw {
+        if !try_suppress(&mut suppressions, &finding.lint, finding.line) {
+            out.findings.push(finding);
+        }
+    }
+    // Panic sites outside strict files are counted, not reported: the
+    // ratchet compares the workspace total against the budget. A site can
+    // still be excluded from the count with an explicit allow.
+    if !strict {
+        out.panic_sites = panic_lines
+            .iter()
+            .filter(|(line, _)| !try_suppress(&mut suppressions, LINT_PANIC_PATH, *line))
+            .count();
+    }
+
+    for s in &suppressions {
+        if !s.used {
+            out.findings.push(Finding {
+                file: file.path.clone(),
+                line: s.line,
+                lint: LINT_SUPPRESSION.into(),
+                message: format!(
+                    "audit:allow({}) matched no finding on this or the next \
+                     line; delete the stale suppression",
+                    s.lint
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Extracts `audit:allow` suppressions, reporting malformed ones. Comments
+/// inside `#[cfg(test)]` regions are ignored — test code is not linted, so a
+/// suppression there could only ever be stale.
+fn parse_suppressions(
+    comments: &[Comment],
+    regions: &[(u32, u32)],
+    path: &str,
+    findings: &mut Vec<Finding>,
+) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for c in comments {
+        let text = c.text.trim();
+        let Some(rest) = text.strip_prefix("audit:allow") else {
+            continue;
+        };
+        if in_regions(regions, c.line) {
+            continue;
+        }
+        let mut fail = |message: String| {
+            findings.push(Finding {
+                file: path.to_string(),
+                line: c.line,
+                lint: LINT_SUPPRESSION.into(),
+                message,
+            });
+        };
+        let Some((lint, after)) = rest
+            .strip_prefix('(')
+            .and_then(|r| r.split_once(')'))
+            .map(|(l, a)| (l.trim(), a.trim()))
+        else {
+            fail("malformed suppression; use `audit:allow(<lint>) -- <reason>`".into());
+            continue;
+        };
+        if !KNOWN_LINTS.contains(&lint) {
+            fail(format!(
+                "unknown lint `{lint}`; known lints: {}",
+                KNOWN_LINTS.join(", ")
+            ));
+            continue;
+        }
+        let reason = after.strip_prefix("--").map(str::trim).unwrap_or_default();
+        if reason.is_empty() {
+            fail(format!(
+                "suppression of `{lint}` has no reason; append `-- <why this \
+                 site is exempt>`"
+            ));
+            continue;
+        }
+        out.push(Suppression {
+            lint: lint.to_string(),
+            line: c.line,
+            used: false,
+        });
+    }
+    out
+}
+
+/// Marks the first matching suppression used; returns whether one matched.
+/// A suppression covers its own line (trailing comment) and the next line.
+fn try_suppress(suppressions: &mut [Suppression], lint: &str, line: u32) -> bool {
+    for s in suppressions.iter_mut() {
+        if s.lint == lint && (s.line == line || s.line + 1 == line) {
+            s.used = true;
+            return true;
+        }
+    }
+    false
+}
+
+fn lint_nondeterminism(tokens: &[&Token], path: &str, out: &mut Vec<Finding>) {
+    for t in tokens {
+        if t.kind == TokenKind::Ident && HASHER_SEEDED.contains(&t.text.as_str()) {
+            out.push(Finding {
+                file: path.to_string(),
+                line: t.line,
+                lint: LINT_NONDETERMINISM.into(),
+                message: format!(
+                    "`{}` iterates in a process-random hasher order; use \
+                     dolos_sim::flat::FlatMap/FlatSet (small, u64-keyed) or \
+                     BTreeMap/BTreeSet in deterministic crates",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+fn lint_wall_clock(tokens: &[&Token], path: &str, out: &mut Vec<Finding>) {
+    for t in tokens {
+        if t.kind == TokenKind::Ident && AMBIENT_HOST_STATE.contains(&t.text.as_str()) {
+            out.push(Finding {
+                file: path.to_string(),
+                line: t.line,
+                lint: LINT_WALL_CLOCK.into(),
+                message: format!(
+                    "`{}` reads host wall-clock/entropy, making results a \
+                     function of the machine; simulated components take time \
+                     as Cycle inputs (host timing belongs in dolos-bench)",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// Lines holding `.unwrap()`, `.expect(`, or an aborting macro invocation.
+fn panic_site_lines(tokens: &[&Token]) -> Vec<(u32, String)> {
+    let mut sites = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let prev_dot = i > 0 && tokens[i - 1].kind == TokenKind::Punct && tokens[i - 1].text == ".";
+        let next = tokens.get(i + 1);
+        let next_is = |p: &str| next.is_some_and(|n| n.kind == TokenKind::Punct && n.text == p);
+        if (t.text == "unwrap" || t.text == "expect") && prev_dot && next_is("(") {
+            sites.push((t.line, format!(".{}()", t.text)));
+        } else if PANIC_MACROS.contains(&t.text.as_str()) && next_is("!") {
+            sites.push((t.line, format!("{}!", t.text)));
+        }
+    }
+    sites
+}
+
+fn lint_persistence_domain(tokens: &[&Token], path: &str, out: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident || !DEVICE_WRITE_METHODS.contains(&t.text.as_str()) {
+            continue;
+        }
+        let prev_dot = i > 0 && tokens[i - 1].kind == TokenKind::Punct && tokens[i - 1].text == ".";
+        let next_paren = tokens
+            .get(i + 1)
+            .is_some_and(|n| n.kind == TokenKind::Punct && n.text == "(");
+        if prev_dot && next_paren {
+            out.push(Finding {
+                file: path.to_string(),
+                line: t.line,
+                lint: LINT_PERSISTENCE_DOMAIN.into(),
+                message: format!(
+                    "direct NvmDevice::{} call bypasses the WPQ persistence \
+                     domain; route the write through the controller, or move \
+                     it into a sanctioned drain/dump/recovery site",
+                    t.text
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! CLI for the workspace audit: `cargo run -p dolos-audit -- check`.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dolos_audit::check_workspace;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut command: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage("--root needs a path"),
+            },
+            "check" if command.is_none() => command = Some(arg),
+            other => return usage(&format!("unexpected argument `{other}`")),
+        }
+    }
+    if command.as_deref() != Some("check") {
+        return usage("missing subcommand");
+    }
+    // The binary lives two levels below the workspace root.
+    let root = root.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."));
+    match check_workspace(&root) {
+        Ok(report) => {
+            if json {
+                print!("{}", report.to_json());
+            } else {
+                print!("{}", report.to_text());
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!(
+                "dolos-audit: cannot read workspace at {}: {err}",
+                root.display()
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("dolos-audit: {err}");
+    eprintln!("usage: dolos-audit check [--json] [--root <workspace-root>]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,135 @@
+//! Findings and their text / JSON renderings.
+
+use std::fmt;
+
+/// One audit finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Repo-relative, `/`-separated path (`(workspace)` for global findings).
+    pub file: String,
+    /// 1-based line (0 for global findings).
+    pub line: u32,
+    /// The lint that fired (one of the `LINT_*` names).
+    pub lint: String,
+    /// Human-readable explanation including the fix direction.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// The outcome of one audit run.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// All findings, sorted by (file, line, lint).
+    pub findings: Vec<Finding>,
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// Unsuppressed panic sites counted against the ratchet budget.
+    pub panic_sites: usize,
+}
+
+impl Report {
+    /// Whether the audit passed.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Renders the human-readable report.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "audit: {} finding(s) across {} file(s); {} panic site(s) against the ratchet budget\n",
+            self.findings.len(),
+            self.files_scanned,
+            self.panic_sites
+        ));
+        out
+    }
+
+    /// Renders the machine-readable report.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"file\": \"{}\", \"line\": {}, \"lint\": \"{}\", \"message\": \"{}\"}}",
+                escape_json(&f.file),
+                f.line,
+                escape_json(&f.lint),
+                escape_json(&f.message)
+            ));
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str(&format!(
+            "],\n  \"count\": {},\n  \"files_scanned\": {},\n  \"panic_sites\": {}\n}}\n",
+            self.findings.len(),
+            self.files_scanned,
+            self.panic_sites
+        ));
+        out
+    }
+}
+
+/// Escapes a string for embedding in JSON output.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_and_json_render_findings() {
+        let report = Report {
+            findings: vec![Finding {
+                file: "crates/x/src/a.rs".into(),
+                line: 7,
+                lint: "nondeterminism".into(),
+                message: "say \"no\"".into(),
+            }],
+            files_scanned: 3,
+            panic_sites: 2,
+        };
+        assert!(report.to_text().contains("a.rs:7: [nondeterminism]"));
+        let json = report.to_json();
+        assert!(json.contains("\"count\": 1"));
+        assert!(json.contains("say \\\"no\\\""));
+        assert!(json.contains("\"panic_sites\": 2"));
+    }
+
+    #[test]
+    fn empty_report_is_clean_and_valid_json() {
+        let report = Report::default();
+        assert!(report.is_clean());
+        assert!(report.to_json().contains("\"findings\": [],"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Workspace file discovery.
+//!
+//! Enumerates the root package's `src/` plus every `crates/<name>/src/`
+//! tree, skipping `tests/`, `benches/`, and `examples/` directories (the
+//! lints target shipped code; test modules inside `src` are excluded at the
+//! token level via `#[cfg(test)]` region detection instead). Files come back
+//! sorted by path so reports and the ratchet count are order-stable.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::lints::SourceFile;
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 4] = ["tests", "benches", "examples", "target"];
+
+/// Collects every auditable `.rs` file under `root` (a workspace root).
+pub fn collect_workspace(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_dir(&root_src, "dolos", root, &mut files)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut crate_dirs: Vec<_> = fs::read_dir(&crates)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            let krate = dir
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let src = dir.join("src");
+            if src.is_dir() {
+                collect_dir(&src, &krate, root, &mut files)?;
+            }
+        }
+    }
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(files)
+}
+
+fn collect_dir(
+    dir: &Path,
+    krate: &str,
+    root: &Path,
+    files: &mut Vec<SourceFile>,
+) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().map(|n| n.to_string_lossy().into_owned());
+            if name.as_deref().is_some_and(|n| SKIP_DIRS.contains(&n)) {
+                continue;
+            }
+            collect_dir(&path, krate, root, files)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            files.push(SourceFile {
+                path: rel,
+                krate: krate.to_string(),
+                text: fs::read_to_string(&path)?,
+            });
+        }
+    }
+    Ok(())
+}

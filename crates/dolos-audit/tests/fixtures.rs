@@ -1,0 +1,241 @@
+//! Fixture tests: every lint pinned both firing and suppressed.
+//!
+//! These are the audit's own regression suite. Each lint gets (at least) a
+//! pair of fixtures — one where it must fire, one where an `audit:allow`
+//! with a reason silences it — plus hygiene cases for the suppression
+//! grammar itself, and a final test that the real workspace is clean. That
+//! last test is what makes the audit self-enforcing: reverting one of the
+//! determinism migrations, or deleting a suppression whose finding is still
+//! live, flips `cargo run -p dolos-audit -- check` (and this test) to red.
+
+use dolos_audit::config::Config;
+use dolos_audit::{audit_source, check_workspace};
+
+fn fixture_config() -> Config {
+    Config {
+        deterministic_crates: vec!["det".into()],
+        clock_exempt_crates: vec!["bench".into()],
+        strict_panic_files: vec!["src/strict.rs".into()],
+        sanctioned_persistence_files: vec!["src/device.rs".into()],
+        panic_budget: 0,
+    }
+}
+
+fn lints_fired(path: &str, krate: &str, text: &str) -> Vec<String> {
+    audit_source(path, krate, text, &fixture_config())
+        .findings
+        .into_iter()
+        .map(|f| f.lint)
+        .collect()
+}
+
+// --- nondeterminism -------------------------------------------------------
+
+#[test]
+fn nondeterminism_fires_on_hash_collections_in_deterministic_crates() {
+    let src = "use std::collections::HashMap;\nfn f() { let m: HashSet<u64> = x(); }\n";
+    let fired = lints_fired("src/a.rs", "det", src);
+    assert_eq!(fired, vec!["nondeterminism", "nondeterminism"]);
+}
+
+#[test]
+fn nondeterminism_is_silent_outside_deterministic_crates() {
+    let src = "use std::collections::HashMap;\n";
+    assert!(lints_fired("src/a.rs", "bench", src).is_empty());
+}
+
+#[test]
+fn nondeterminism_ignores_comments_strings_and_tests() {
+    let src = r#"
+// A HashMap would be wrong here.
+fn f() { let s = "HashMap"; }
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+}
+"#;
+    assert!(lints_fired("src/a.rs", "det", src).is_empty());
+}
+
+#[test]
+fn nondeterminism_suppression_with_reason_holds() {
+    let src = "// audit:allow(nondeterminism) -- insertion-order scan only, never iterated\n\
+               use std::collections::HashMap;\n";
+    assert!(lints_fired("src/a.rs", "det", src).is_empty());
+}
+
+#[test]
+fn trailing_same_line_suppression_holds() {
+    let src =
+        "use std::collections::HashMap; // audit:allow(nondeterminism) -- bounded, sorted on use\n";
+    assert!(lints_fired("src/a.rs", "det", src).is_empty());
+}
+
+// --- wall-clock -----------------------------------------------------------
+
+#[test]
+fn wall_clock_fires_outside_the_bench_crate() {
+    let src = "fn f() { let t = std::time::Instant::now(); }\n";
+    assert_eq!(lints_fired("src/a.rs", "det", src), vec!["wall-clock"]);
+    let src2 = "fn f() -> SystemTime { SystemTime::now() }\n";
+    assert_eq!(
+        lints_fired("src/a.rs", "other", src2),
+        vec!["wall-clock", "wall-clock"]
+    );
+}
+
+#[test]
+fn wall_clock_is_allowed_in_bench_and_suppressible_elsewhere() {
+    let src = "fn f() { let t = Instant::now(); }\n";
+    assert!(lints_fired("src/a.rs", "bench", src).is_empty());
+    let suppressed = "// audit:allow(wall-clock) -- progress logging only, not in results\n\
+                      fn f() { let t = Instant::now(); }\n";
+    assert!(lints_fired("src/a.rs", "det", suppressed).is_empty());
+}
+
+#[test]
+fn wall_clock_does_not_match_identifier_substrings() {
+    // `Instantiates` in prose and code must not trip the `Instant` rule.
+    let src = "/// Instantiates the workload.\nfn instantiate_it() {}\n";
+    assert!(lints_fired("src/a.rs", "det", src).is_empty());
+}
+
+// --- panic-path -----------------------------------------------------------
+
+#[test]
+fn panic_path_fires_per_site_in_strict_files() {
+    let src = "fn recover() { x.unwrap(); y.expect(\"m\"); panic!(\"no\"); unreachable!(); }\n";
+    let fired = lints_fired("src/strict.rs", "det", src);
+    assert_eq!(fired.len(), 4);
+    assert!(fired.iter().all(|l| l == "panic-path"));
+}
+
+#[test]
+fn panic_path_in_strict_files_is_suppressible_per_site() {
+    let src = "// audit:allow(panic-path) -- invariant checked on the previous line\n\
+               fn recover() { x.unwrap(); }\n";
+    assert!(lints_fired("src/strict.rs", "det", src).is_empty());
+}
+
+#[test]
+fn panic_budget_ratchets_on_non_strict_files() {
+    let src = "fn f() { a.unwrap(); b.expect(\"m\"); }\n";
+    let report = audit_source("src/a.rs", "det", src, &fixture_config());
+    assert_eq!(report.panic_sites, 2);
+    // Budget is 0 in the fixture config: the workspace-level finding fires.
+    let budget = report
+        .findings
+        .iter()
+        .find(|f| f.file == "(workspace)")
+        .expect("budget finding");
+    assert_eq!(budget.lint, "panic-path");
+    assert!(budget.message.contains("ratchet"));
+}
+
+#[test]
+fn allowed_panic_sites_do_not_count_against_the_budget() {
+    let src = "// audit:allow(panic-path) -- bounded arithmetic, cannot overflow\n\
+               fn f() { a.unwrap(); }\n";
+    let report = audit_source("src/a.rs", "det", src, &fixture_config());
+    assert_eq!(report.panic_sites, 0);
+    assert!(report.is_clean());
+}
+
+#[test]
+fn panic_sites_in_test_modules_are_free() {
+    let src = "#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); panic!(\"boom\"); }\n}\n";
+    let report = audit_source("src/a.rs", "det", src, &fixture_config());
+    assert_eq!(report.panic_sites, 0);
+    assert!(report.is_clean());
+}
+
+#[test]
+fn unwrap_like_identifiers_are_not_panic_sites() {
+    let src = "fn f() { a.unwrap_or(0); b.unwrap_or_default(); expect(c); }\n";
+    let report = audit_source("src/a.rs", "det", src, &fixture_config());
+    assert_eq!(report.panic_sites, 0);
+}
+
+// --- persistence-domain ---------------------------------------------------
+
+#[test]
+fn persistence_domain_fires_outside_sanctioned_files() {
+    let src = "fn f(nvm: &mut NvmDevice) { nvm.poke(a, &d); nvm.restore_lines(&v); }\n";
+    let fired = lints_fired("src/a.rs", "det", src);
+    assert_eq!(fired, vec!["persistence-domain", "persistence-domain"]);
+}
+
+#[test]
+fn persistence_domain_is_silent_in_sanctioned_files_and_on_definitions() {
+    let call = "fn f(nvm: &mut NvmDevice) { nvm.write_line(now, a, &d); }\n";
+    assert!(lints_fired("src/device.rs", "det", call).is_empty());
+    // A method *definition* is not a call: no `.` before the name.
+    let def = "impl NvmDevice { pub fn write_line(&mut self) {} }\n";
+    assert!(lints_fired("src/a.rs", "det", def).is_empty());
+}
+
+#[test]
+fn persistence_domain_suppression_with_reason_holds() {
+    let src = "// audit:allow(persistence-domain) -- fault injection bypasses ADR on purpose\n\
+               fn f(nvm: &mut NvmDevice) { nvm.replay_snapshot(a, &s); }\n";
+    assert!(lints_fired("src/a.rs", "det", src).is_empty());
+}
+
+// --- suppression hygiene --------------------------------------------------
+
+#[test]
+fn suppression_without_reason_is_a_finding() {
+    let src = "// audit:allow(nondeterminism)\nuse std::collections::HashMap;\n";
+    let report = audit_source("src/a.rs", "det", src, &fixture_config());
+    let lints: Vec<_> = report.findings.iter().map(|f| f.lint.as_str()).collect();
+    // The bad allow is reported AND the underlying finding still fires.
+    assert!(lints.contains(&"suppression"));
+    assert!(lints.contains(&"nondeterminism"));
+}
+
+#[test]
+fn suppression_of_unknown_lint_is_a_finding() {
+    let src = "// audit:allow(made-up-lint) -- because\nfn f() {}\n";
+    let report = audit_source("src/a.rs", "det", src, &fixture_config());
+    assert_eq!(report.findings.len(), 1);
+    assert!(report.findings[0].message.contains("unknown lint"));
+}
+
+#[test]
+fn deleting_the_violation_strands_the_suppression() {
+    // The allow outlives the HashMap it used to cover: the audit must go
+    // red until the stale comment is deleted too.
+    let src = "// audit:allow(nondeterminism) -- justified once upon a time\nfn f() {}\n";
+    let report = audit_source("src/a.rs", "det", src, &fixture_config());
+    assert_eq!(report.findings.len(), 1);
+    assert_eq!(report.findings[0].lint, "suppression");
+    assert!(report.findings[0].message.contains("stale"));
+}
+
+#[test]
+fn suppression_only_covers_adjacent_lines() {
+    let src =
+        "// audit:allow(nondeterminism) -- too far away\n\n\nuse std::collections::HashMap;\n";
+    let report = audit_source("src/a.rs", "det", src, &fixture_config());
+    let lints: Vec<_> = report.findings.iter().map(|f| f.lint.as_str()).collect();
+    assert!(lints.contains(&"nondeterminism"));
+    assert!(lints.contains(&"suppression")); // and the allow counts as stale
+}
+
+// --- the real workspace ---------------------------------------------------
+
+#[test]
+fn workspace_is_audit_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = check_workspace(&root).expect("workspace readable");
+    assert!(
+        report.is_clean(),
+        "workspace audit must be clean:\n{}",
+        report.to_text()
+    );
+    // The walker found the whole workspace, not a subdirectory.
+    assert!(report.files_scanned > 50, "only {}", report.files_scanned);
+    // Ratchet sanity: the recorded budget matches reality. If you removed
+    // panic sites, lower `Config::workspace().panic_budget` to match.
+    assert!(report.panic_sites <= Config::workspace().panic_budget);
+}

@@ -1,7 +1,7 @@
 //! The experiment implementations, one per table/figure.
 //!
 //! Every workload × controller sweep is expressed as an ordered list of
-//! [`Cell`]s and executed through [`dolos_sim::pool::run_indexed`], so the
+//! `Cell`s and executed through [`dolos_sim::pool::run_indexed`], so the
 //! rendered tables are identical at any `jobs` value: the pool partitions
 //! cells by index and joins workers in order, and each cell is an
 //! independent simulation (no shared mutable state).

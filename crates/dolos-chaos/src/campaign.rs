@@ -10,7 +10,7 @@
 //!    structured applications (B-tree, crit-bit tree, hashmap, and the
 //!    N-Store YCSB transaction mix) rather than raw line writes.
 //!
-//! The first failing schedule per design is shrunk ([`crate::shrink`])
+//! The first failing schedule per design is shrunk ([`mod@crate::shrink`])
 //! before it is reported, so the matrix carries a minimal reproducer, not a
 //! 100-write haystack.
 

@@ -16,7 +16,7 @@
 //!   survive exactly, the one in-flight write may be old-or-new, and
 //!   tampering must be *detected* (a [`dolos_core::SecurityError`]) or
 //!   provably harmless — never silent corruption;
-//! * [`shrink`] — greedily minimizes a failing schedule to the smallest
+//! * [`mod@shrink`] — greedily minimizes a failing schedule to the smallest
 //!   reproducer, property-testing style;
 //! * [`campaign`] — sweeps schedules and WHISPER workloads across all six
 //!   controller designs and emits a pass/fail matrix plus a JSON report.

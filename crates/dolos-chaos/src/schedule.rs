@@ -4,7 +4,7 @@
 //! A [`Schedule`] is pure data — which writes to issue, where to cut power,
 //! what to corrupt while the machine is dark — so the same schedule against
 //! the same controller configuration replays bit-for-bit. That is what makes
-//! failing scenarios shrinkable ([`crate::shrink`]) and campaign reports
+//! failing scenarios shrinkable ([`mod@crate::shrink`]) and campaign reports
 //! reproducible.
 
 use core::fmt;

@@ -191,6 +191,7 @@ impl MajorSecurityUnit {
     ) -> (CounterBlock, u64) {
         match self.counter_cache.probe(page) {
             Access::Hit => {
+                // audit:allow(panic-path) -- probe() just returned Hit, so the entry is present; absence is a simulator bug, not a recoverable device state
                 let line = *self.counter_cache.get(page).expect("hit implies present");
                 (CounterBlock::from_line(&line), 0)
             }

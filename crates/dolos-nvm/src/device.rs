@@ -9,7 +9,7 @@
 //! serialize on their own port; this deliberately simple channel model is the
 //! same abstraction level the paper's table implies.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dolos_sim::resource::Pipeline;
 use dolos_sim::stats::StatSet;
@@ -41,25 +41,28 @@ pub const WRITE_ISSUE_INTERVAL: u64 = 100;
 /// model (spoofing, relocation, replay).
 #[derive(Debug, Clone)]
 pub struct NvmDevice {
-    lines: HashMap<u64, Line>,
+    /// Line store, ordered by address: range scans (recovery's counter-region
+    /// enumeration) come out sorted for free, and nothing downstream can
+    /// observe hasher-dependent order.
+    lines: BTreeMap<u64, Line>,
     read_port: Pipeline,
     write_port: Pipeline,
     reads: u64,
     writes: u64,
     /// Program cycles per line — the endurance profile (PCM cells wear out
     /// after ~1e8 writes; secure-NVM designs care about write amplification).
-    write_counts: HashMap<u64, u64>,
+    write_counts: BTreeMap<u64, u64>,
 }
 
 impl Default for NvmDevice {
     fn default() -> Self {
         Self {
-            lines: HashMap::new(),
+            lines: BTreeMap::new(),
             read_port: Pipeline::new(READ_ISSUE_INTERVAL, READ_LATENCY),
             write_port: Pipeline::new(WRITE_ISSUE_INTERVAL, WRITE_LATENCY),
             reads: 0,
             writes: 0,
-            write_counts: HashMap::new(),
+            write_counts: BTreeMap::new(),
         }
     }
 }
@@ -187,10 +190,12 @@ impl NvmDevice {
     }
 
     /// The endurance hot spot: the most-written line and its write count.
+    /// Ties resolve to the lowest address (ordered iteration), so the answer
+    /// is a pure function of the write history.
     pub fn max_line_writes(&self) -> Option<(LineAddr, u64)> {
         self.write_counts
             .iter()
-            .max_by_key(|(_, &c)| c)
+            .max_by(|(a1, c1), (a2, c2)| c1.cmp(c2).then(a2.cmp(a1)))
             .map(|(&a, &c)| (LineAddr::containing(a), c))
     }
 
@@ -201,16 +206,13 @@ impl NvmDevice {
 
     /// Addresses of resident (ever-written) lines within `[start, end)`,
     /// sorted. Recovery uses this to enumerate the counter-block region
-    /// without scanning the full device.
+    /// without scanning the full device; the ordered store makes this a
+    /// range scan instead of a filter-and-sort over every resident line.
     pub fn resident_lines_in(&self, start: u64, end: u64) -> Vec<LineAddr> {
-        let mut addrs: Vec<LineAddr> = self
-            .lines
-            .keys()
-            .filter(|&&a| a >= start && a < end)
-            .map(|&a| LineAddr::containing(a))
-            .collect();
-        addrs.sort();
-        addrs
+        self.lines
+            .range(start..end)
+            .map(|(&a, _)| LineAddr::containing(a))
+            .collect()
     }
 
     /// Snapshots device statistics.

@@ -13,9 +13,8 @@
 //! A parallel **volatile tag array** (paper §4.5) maps plaintext addresses to
 //! slots, enabling write coalescing and read hits without decrypting entries.
 
-use std::collections::HashMap;
-
 use dolos_crypto::mac::Mac64;
+use dolos_sim::flat::FlatMap;
 use dolos_sim::stats::StatSet;
 
 use crate::{addr::LineAddr, Line};
@@ -94,7 +93,10 @@ pub struct WriteQueue {
     /// Whether the volatile tag array exists (write coalescing + read hits,
     /// §4.5). Disabled only by ablation configurations.
     coalescing: bool,
-    tag: HashMap<LineAddr, usize>,
+    /// Address → slot, keyed by the raw line address. Flat and sorted: the
+    /// queue holds at most a few dozen entries, so binary search beats
+    /// hashing, and the structure carries no hasher state.
+    tag: FlatMap<usize>,
     inserts: u64,
     coalesces: u64,
     full_events: u64,
@@ -116,7 +118,7 @@ impl WriteQueue {
             next_scan: 0,
             live: 0,
             coalescing: true,
-            tag: HashMap::new(),
+            tag: FlatMap::new(),
             inserts: 0,
             coalesces: 0,
             full_events: 0,
@@ -156,7 +158,7 @@ impl WriteQueue {
         if !self.coalescing {
             return None;
         }
-        let &slot = self.tag.get(&addr)?;
+        let &slot = self.tag.get(addr.as_u64())?;
         matches!(self.slots[slot], Slot::Live(_)).then_some(slot)
     }
 
@@ -198,7 +200,7 @@ impl WriteQueue {
             mac,
             slot,
         });
-        self.tag.insert(addr, slot);
+        self.tag.insert(addr.as_u64(), slot);
         self.next_insert = (self.next_insert + 1) % self.slots.len();
         self.live += 1;
         self.inserts += 1;
@@ -226,7 +228,7 @@ impl WriteQueue {
         if !self.coalescing {
             return None;
         }
-        let &slot = self.tag.get(&addr)?;
+        let &slot = self.tag.get(addr.as_u64())?;
         let entry = self.slots[slot].entry()?;
         self.read_hits += 1;
         Some(entry)
@@ -265,8 +267,8 @@ impl WriteQueue {
         let Slot::Busy(entry) = std::mem::replace(&mut self.slots[slot], Slot::Free) else {
             panic!("clearing a WPQ slot that is not busy");
         };
-        if self.tag.get(&entry.addr) == Some(&slot) {
-            self.tag.remove(&entry.addr);
+        if self.tag.get(entry.addr.as_u64()) == Some(&slot) {
+            self.tag.remove(entry.addr.as_u64());
         }
         self.live -= 1;
         self.next_fetch = (self.next_fetch + 1) % self.slots.len();

@@ -20,7 +20,8 @@
 
 use dolos_crypto::mac::{Mac64, MacEngine};
 use dolos_nvm::Line;
-use std::collections::{BTreeMap, HashMap};
+use dolos_sim::flat::FlatMap;
+use std::collections::BTreeMap;
 
 /// Tree arity (8-ary, Table 1).
 pub const ARITY: u64 = 8;
@@ -46,8 +47,9 @@ pub struct BonsaiMerkleTree {
     leaves: u64,
     height: usize,
     /// `nodes[level]` maps node index to MAC; absent nodes hold the level's
-    /// default. Level 0 holds leaf MACs.
-    nodes: Vec<HashMap<u64, Mac64>>,
+    /// default. Level 0 holds leaf MACs. Flat sorted maps: small-integer
+    /// keys hash-free, and any iteration is in ascending index order.
+    nodes: Vec<FlatMap<Mac64>>,
     defaults: Vec<Mac64>,
     root: Mac64,
     updates: u64,
@@ -84,7 +86,7 @@ impl BonsaiMerkleTree {
         Self {
             leaves,
             height,
-            nodes: vec![HashMap::new(); height + 1],
+            nodes: vec![FlatMap::new(); height + 1],
             defaults,
             root,
             updates: 0,
@@ -114,7 +116,7 @@ impl BonsaiMerkleTree {
 
     fn node(&self, level: usize, index: u64) -> Mac64 {
         self.nodes[level]
-            .get(&index)
+            .get(index)
             .copied()
             .unwrap_or(self.defaults[level])
     }

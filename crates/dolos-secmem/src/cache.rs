@@ -5,7 +5,7 @@
 //! 64-byte payloads: dirty blocks exist *only* here until written back, which
 //! is precisely the volatility that makes secure-NVM crash consistency hard.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dolos_sim::stats::StatSet;
 
@@ -254,8 +254,11 @@ impl SetAssocCache {
         s
     }
 
-    /// Exports resident blocks into a map (used by recovery assertions).
-    pub fn export(&self) -> HashMap<u64, (Line, bool)> {
+    /// Exports resident blocks into an ordered map (used by recovery
+    /// assertions). Returned as a `BTreeMap` so callers comparing or
+    /// iterating the export see one canonical order — a public API must not
+    /// leak hasher-dependent iteration order.
+    pub fn export(&self) -> BTreeMap<u64, (Line, bool)> {
         self.iter().map(|(k, d, dirty)| (k, (*d, dirty))).collect()
     }
 }

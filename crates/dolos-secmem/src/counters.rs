@@ -218,11 +218,16 @@ mod tests {
     #[test]
     fn packed_counters_never_repeat_across_overflow() {
         let mut b = CounterBlock::new();
-        let mut seen = std::collections::HashSet::new();
-        for _ in 0..300 {
-            let c = b.increment(9).counter().packed();
-            assert!(seen.insert(c), "counter value {c} repeated");
-        }
+        // Sort-and-dedup uniqueness check: collection-deterministic, unlike
+        // a hash set whose probe order depends on process hasher seeds.
+        let seen: Vec<u64> = (0..300)
+            .map(|_| b.increment(9).counter().packed())
+            .collect();
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        let before = sorted.len();
+        sorted.dedup();
+        assert_eq!(sorted.len(), before, "a packed counter value repeated");
     }
 
     #[test]

@@ -8,8 +8,7 @@
 //! write to keep the table current — the run-time price Anubis pays for its
 //! bounded recovery time, charged by the Ma-SU timing model.
 
-use std::collections::HashMap;
-
+use dolos_sim::flat::FlatMap;
 use dolos_sim::stats::StatSet;
 
 /// The shadow table: a fixed array of slots, each optionally naming the
@@ -29,7 +28,10 @@ use dolos_sim::stats::StatSet;
 #[derive(Debug, Clone)]
 pub struct ShadowTable {
     slots: Vec<Option<u64>>,
-    index: HashMap<u64, usize>,
+    /// Key → slot reverse index. Flat and sorted: the table is small (one
+    /// entry per cache frame) and nothing about it may depend on hasher
+    /// state — recovery derives its working set from this structure.
+    index: FlatMap<usize>,
     writes: u64,
 }
 
@@ -43,7 +45,7 @@ impl ShadowTable {
         assert!(capacity > 0, "shadow table must have slots");
         Self {
             slots: vec![None; capacity],
-            index: HashMap::new(),
+            index: FlatMap::new(),
             writes: 0,
         }
     }
@@ -77,7 +79,7 @@ impl ShadowTable {
     /// Panics if the table is full — the caller must `remove` the evicted
     /// frame's entry first, mirroring the cache's fixed geometry.
     pub fn record(&mut self, key: u64) {
-        if self.index.contains_key(&key) {
+        if self.index.contains_key(key) {
             return;
         }
         let slot = self
@@ -94,7 +96,7 @@ impl ShadowTable {
     ///
     /// Returns whether an entry was present.
     pub fn remove(&mut self, key: u64) -> bool {
-        if let Some(slot) = self.index.remove(&key) {
+        if let Some(slot) = self.index.remove(key) {
             self.slots[slot] = None;
             self.writes += 1;
             true
@@ -110,7 +112,7 @@ impl ShadowTable {
 
     /// Whether `key` is tracked.
     pub fn contains(&self, key: u64) -> bool {
-        self.index.contains_key(&key)
+        self.index.contains_key(key)
     }
 
     /// Clears the table (after recovery completes).

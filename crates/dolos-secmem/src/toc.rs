@@ -16,10 +16,11 @@
 //! * a crash loses the cache; recovery reloads the shadow region, verifies
 //!   it against the shadow root, and merges it over the stale main tree.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use dolos_crypto::mac::{Mac64, MacEngine};
 use dolos_nvm::Line;
+use dolos_sim::flat::FlatMap;
 
 use crate::bmt::ARITY;
 
@@ -68,12 +69,14 @@ pub struct TreeOfCounters {
     leaves: u64,
     height: usize,
     /// Persistent (NVM) tree nodes; stale for lazily-updated paths.
-    main: HashMap<(usize, u64), TocNode>,
+    /// Ordered maps throughout: recovery and audits iterate these, and
+    /// iteration order must be a pure function of the contents.
+    main: BTreeMap<(usize, u64), TocNode>,
     /// Persistent (NVM) leaf MACs, keyed by leaf index.
-    main_leaf_macs: HashMap<u64, Mac64>,
+    main_leaf_macs: FlatMap<Mac64>,
     /// Volatile cache of updated nodes/leaf MACs (lost on crash).
-    cache: HashMap<(usize, u64), TocNode>,
-    cache_leaf_macs: HashMap<u64, Mac64>,
+    cache: BTreeMap<(usize, u64), TocNode>,
+    cache_leaf_macs: FlatMap<Mac64>,
     /// Write-through shadow region (NVM) mirroring the volatile cache.
     shadow: BTreeMap<(usize, u64), TocNode>,
     shadow_leaf_macs: BTreeMap<u64, Mac64>,
@@ -114,10 +117,10 @@ impl TreeOfCounters {
         let mut toc = Self {
             leaves,
             height,
-            main: HashMap::new(),
-            main_leaf_macs: HashMap::new(),
-            cache: HashMap::new(),
-            cache_leaf_macs: HashMap::new(),
+            main: BTreeMap::new(),
+            main_leaf_macs: FlatMap::new(),
+            cache: BTreeMap::new(),
+            cache_leaf_macs: FlatMap::new(),
             shadow: BTreeMap::new(),
             shadow_leaf_macs: BTreeMap::new(),
             shadow_root: [0; 8],
@@ -159,8 +162,8 @@ impl TreeOfCounters {
 
     fn leaf_mac(&self, index: u64) -> Mac64 {
         self.cache_leaf_macs
-            .get(&index)
-            .or_else(|| self.main_leaf_macs.get(&index))
+            .get(index)
+            .or_else(|| self.main_leaf_macs.get(index))
             .copied()
             .unwrap_or([0; 8])
     }
@@ -275,11 +278,11 @@ impl TreeOfCounters {
     /// Evicts every cached node into the main (NVM) tree, emptying the
     /// shadow region — what a metadata-cache flush does.
     pub fn evict_all(&mut self, engine: &MacEngine) {
-        for (key, node) in self.cache.drain() {
+        for (key, node) in std::mem::take(&mut self.cache) {
             self.main.insert(key, node);
         }
-        for (idx, mac) in self.cache_leaf_macs.drain() {
-            self.main_leaf_macs.insert(idx, mac);
+        for (idx, mac) in std::mem::take(&mut self.cache_leaf_macs).iter() {
+            self.main_leaf_macs.insert(idx, *mac);
         }
         self.shadow.clear();
         self.shadow_leaf_macs.clear();

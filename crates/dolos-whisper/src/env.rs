@@ -12,9 +12,10 @@
 //! the persistence domain. A crash loses the cache image and everything not
 //! yet fenced.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::BTreeMap;
 
 use dolos_core::{RecoveryReport, SecureMemorySystem, SecurityError};
+use dolos_sim::flat::FlatSet;
 use dolos_sim::Cycle;
 
 use crate::cpu_cache::CpuCacheHierarchy;
@@ -49,9 +50,10 @@ pub struct PmEnv {
     heap_next: u64,
     heap_end: u64,
     /// Volatile CPU-cache view of the region, keyed by line address.
-    image: HashMap<u64, [u8; 64]>,
+    /// Ordered: nothing in the environment may iterate in hasher order.
+    image: BTreeMap<u64, [u8; 64]>,
     /// Lines modified since their last write-back.
-    dirty: HashSet<u64>,
+    dirty: FlatSet,
     /// Lines queued by `clwb`, persisted at the next `sfence`.
     flush_queue: Vec<u64>,
     fences: u64,
@@ -72,8 +74,8 @@ impl PmEnv {
             instructions: 0,
             heap_next: 64, // keep null (0) unallocated
             heap_end,
-            image: HashMap::new(),
-            dirty: HashSet::new(),
+            image: BTreeMap::new(),
+            dirty: FlatSet::new(),
             flush_queue: Vec::new(),
             fences: 0,
             flushes: 0,
@@ -178,7 +180,7 @@ impl PmEnv {
             let Some(data) = self.image.remove(&line) else {
                 continue;
             };
-            if self.dirty.remove(&line) {
+            if self.dirty.remove(line) {
                 let _ = self.system.persist_write(self.now, line, &data);
                 if let Some(trace) = self.recorder.as_mut() {
                     trace.push(TraceOp::Writeback(line));
@@ -262,7 +264,7 @@ impl PmEnv {
         let last = Self::line_of(addr + len.max(1) - 1);
         let mut line = first;
         loop {
-            if self.dirty.contains(&line) && !self.flush_queue.contains(&line) {
+            if self.dirty.contains(line) && !self.flush_queue.contains(&line) {
                 self.flush_queue.push(line);
                 self.flushes += 1;
                 self.work(1);
@@ -292,7 +294,7 @@ impl PmEnv {
             let data = *self.image.get(&line).expect("flushed lines are cached");
             let done = self.system.persist_write(start, line, &data);
             fence_done = fence_done.max(done);
-            self.dirty.remove(&line);
+            self.dirty.remove(line);
             self.caches.clean(line);
         }
         self.now = fence_done;

@@ -12,8 +12,7 @@
 //! Leaves store value pointers in `child_or_val[i]` aligned with `key[i]`;
 //! internals store child pointers with the usual k keys / k+1 children.
 
-use std::collections::HashMap as StdHashMap;
-
+use dolos_sim::flat::FlatMap;
 use dolos_sim::rng::XorShift;
 
 use crate::env::PmEnv;
@@ -29,8 +28,8 @@ pub struct BTreeWorkload {
     keyspace: u64,
     header: u64,
     log: Option<UndoLog>,
-    mirror: StdHashMap<u64, (u64, usize)>,
-    versions: StdHashMap<u64, u64>,
+    mirror: FlatMap<(u64, usize)>,
+    versions: FlatMap<u64>,
 }
 
 struct Node {
@@ -47,8 +46,8 @@ impl BTreeWorkload {
             keyspace,
             header: 0,
             log: None,
-            mirror: StdHashMap::new(),
-            versions: StdHashMap::new(),
+            mirror: FlatMap::new(),
+            versions: FlatMap::new(),
         }
     }
 
@@ -240,7 +239,7 @@ impl Workload for BTreeWorkload {
         // undo/redo logging doubling the payload, the value is half of it.
         let txn_bytes = (txn_bytes / 2).max(64);
         let key = rng.next_below(self.keyspace) + 1; // avoid the 0 sentinel
-        let version = self.versions.entry(key).or_insert(0);
+        let version = self.versions.get_mut_or_insert(key, 0);
         *version += 1;
         let version = *version;
         let value = value_pattern(key, version, txn_bytes);
@@ -249,7 +248,8 @@ impl Workload for BTreeWorkload {
     }
 
     fn verify(&mut self, env: &mut PmEnv) {
-        for (&key, &(version, len)) in &self.mirror.clone() {
+        let expected: Vec<(u64, (u64, usize))> = self.mirror.iter().map(|(k, v)| (k, *v)).collect();
+        for (key, (version, len)) in expected {
             let (leaf_addr, _) = self
                 .find_leaf(env, key)
                 .unwrap_or_else(|| panic!("tree empty, key {key} missing"));

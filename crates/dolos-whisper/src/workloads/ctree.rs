@@ -12,8 +12,7 @@
 //! `bit` is the index (63 = MSB) of the highest bit where the two subtrees
 //! differ; lookups walk by testing that bit of the key.
 
-use std::collections::HashMap as StdHashMap;
-
+use dolos_sim::flat::FlatMap;
 use dolos_sim::rng::XorShift;
 
 use crate::env::PmEnv;
@@ -29,8 +28,8 @@ pub struct CtreeWorkload {
     keyspace: u64,
     root_ptr: u64,
     log: Option<UndoLog>,
-    mirror: StdHashMap<u64, (u64, usize)>,
-    versions: StdHashMap<u64, u64>,
+    mirror: FlatMap<(u64, usize)>,
+    versions: FlatMap<u64>,
 }
 
 impl CtreeWorkload {
@@ -40,8 +39,8 @@ impl CtreeWorkload {
             keyspace,
             root_ptr: 0,
             log: None,
-            mirror: StdHashMap::new(),
-            versions: StdHashMap::new(),
+            mirror: FlatMap::new(),
+            versions: FlatMap::new(),
         }
     }
 
@@ -142,7 +141,7 @@ impl Workload for CtreeWorkload {
         // undo/redo logging doubling the payload, the value is half of it.
         let txn_bytes = (txn_bytes / 2).max(64);
         let key = rng.next_below(self.keyspace);
-        let version = self.versions.entry(key).or_insert(0);
+        let version = self.versions.get_mut_or_insert(key, 0);
         *version += 1;
         let version = *version;
         let value = value_pattern(key, version, txn_bytes);
@@ -151,7 +150,8 @@ impl Workload for CtreeWorkload {
     }
 
     fn verify(&mut self, env: &mut PmEnv) {
-        for (&key, &(version, len)) in &self.mirror.clone() {
+        let expected: Vec<(u64, (u64, usize))> = self.mirror.iter().map(|(k, v)| (k, *v)).collect();
+        for (key, (version, len)) in expected {
             let leaf = self
                 .find_leaf(key, env)
                 .unwrap_or_else(|| panic!("key {key} missing"));

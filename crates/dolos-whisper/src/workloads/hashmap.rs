@@ -11,8 +11,7 @@
 //! Every transaction upserts one key with a fresh value through the undo
 //! log: chain walk, node/value writes, commit.
 
-use std::collections::HashMap as StdHashMap;
-
+use dolos_sim::flat::FlatMap;
 use dolos_sim::rng::XorShift;
 
 use crate::env::PmEnv;
@@ -28,8 +27,8 @@ pub struct HashmapWorkload {
     buckets: u64,
     log: Option<UndoLog>,
     /// Volatile mirror of committed state: key -> (version, len).
-    mirror: StdHashMap<u64, (u64, usize)>,
-    versions: StdHashMap<u64, u64>,
+    mirror: FlatMap<(u64, usize)>,
+    versions: FlatMap<u64>,
 }
 
 impl HashmapWorkload {
@@ -39,8 +38,8 @@ impl HashmapWorkload {
             keyspace,
             buckets: 0,
             log: None,
-            mirror: StdHashMap::new(),
-            versions: StdHashMap::new(),
+            mirror: FlatMap::new(),
+            versions: FlatMap::new(),
         }
     }
 
@@ -117,7 +116,7 @@ impl Workload for HashmapWorkload {
         // undo/redo logging doubling the payload, the value is half of it.
         let txn_bytes = (txn_bytes / 2).max(64);
         let key = rng.next_below(self.keyspace);
-        let version = self.versions.entry(key).or_insert(0);
+        let version = self.versions.get_mut_or_insert(key, 0);
         *version += 1;
         let version = *version;
         let value = value_pattern(key, version, txn_bytes);
@@ -126,7 +125,8 @@ impl Workload for HashmapWorkload {
     }
 
     fn verify(&mut self, env: &mut PmEnv) {
-        for (&key, &(version, len)) in &self.mirror.clone() {
+        let expected: Vec<(u64, (u64, usize))> = self.mirror.iter().map(|(k, v)| (k, *v)).collect();
+        for (key, (version, len)) in expected {
             let node = self
                 .find(key, env)
                 .unwrap_or_else(|| panic!("key {key} missing"));

@@ -16,8 +16,7 @@
 //! lru:     [head u64 | tail u64]
 //! ```
 
-use std::collections::HashMap as StdHashMap;
-
+use dolos_sim::flat::FlatMap;
 use dolos_sim::rng::XorShift;
 
 use crate::env::PmEnv;
@@ -43,8 +42,8 @@ pub struct MemcachedWorkload {
     buckets: u64,
     lru: u64,
     item_capacity: u64,
-    mirror: StdHashMap<u64, (u64, usize)>,
-    versions: StdHashMap<u64, u64>,
+    mirror: FlatMap<(u64, usize)>,
+    versions: FlatMap<u64>,
     gets: u64,
     sets: u64,
 }
@@ -57,8 +56,8 @@ impl MemcachedWorkload {
             buckets: 0,
             lru: 0,
             item_capacity: 0,
-            mirror: StdHashMap::new(),
-            versions: StdHashMap::new(),
+            mirror: FlatMap::new(),
+            versions: FlatMap::new(),
             gets: 0,
             sets: 0,
         }
@@ -203,10 +202,10 @@ impl Workload for MemcachedWorkload {
         let txn_bytes = (txn_bytes / 2).max(64).min(self.item_capacity as usize);
         let key = rng.next_below(self.keyspace);
         env.work(25); // protocol parsing
-        if rng.chance(GET_RATIO) && self.mirror.contains_key(&key) {
+        if rng.chance(GET_RATIO) && self.mirror.contains_key(key) {
             let _ = self.get(env, key);
         } else {
-            let version = self.versions.entry(key).or_insert(0);
+            let version = self.versions.get_mut_or_insert(key, 0);
             *version += 1;
             let version = *version;
             let value = value_pattern(key, version, txn_bytes);
@@ -216,7 +215,8 @@ impl Workload for MemcachedWorkload {
     }
 
     fn verify(&mut self, env: &mut PmEnv) {
-        for (&key, &(version, len)) in &self.mirror.clone() {
+        let expected: Vec<(u64, (u64, usize))> = self.mirror.iter().map(|(k, v)| (k, *v)).collect();
+        for (key, (version, len)) in expected {
             let item = self
                 .find(env, key)
                 .unwrap_or_else(|| panic!("key {key} missing"));

@@ -14,8 +14,7 @@
 //! wal:     [head u64] then records [key u64 | version u64 | len u64 | bytes...]
 //! ```
 
-use std::collections::HashMap as StdHashMap;
-
+use dolos_sim::flat::FlatMap;
 use dolos_sim::rng::{XorShift, Zipfian};
 
 use crate::env::PmEnv;
@@ -33,8 +32,8 @@ pub struct NstoreYcsbWorkload {
     wal_capacity: u64,
     wal_head: u64,
     zipf: Option<Zipfian>,
-    mirror: StdHashMap<u64, (u64, usize)>,
-    versions: StdHashMap<u64, u64>,
+    mirror: FlatMap<(u64, usize)>,
+    versions: FlatMap<u64>,
     reads: u64,
     updates: u64,
 }
@@ -49,8 +48,8 @@ impl NstoreYcsbWorkload {
             wal_capacity: 512 * 1024,
             wal_head: 64,
             zipf: None,
-            mirror: StdHashMap::new(),
-            versions: StdHashMap::new(),
+            mirror: FlatMap::new(),
+            versions: FlatMap::new(),
             reads: 0,
             updates: 0,
         }
@@ -88,7 +87,7 @@ impl NstoreYcsbWorkload {
     }
 
     fn update(&mut self, env: &mut PmEnv, key: u64, value: &[u8]) {
-        let version = self.versions.entry(key).or_insert(0);
+        let version = self.versions.get_mut_or_insert(key, 0);
         *version += 1;
         let version = *version;
         self.wal_append(env, key, version, value);
@@ -151,7 +150,7 @@ impl Workload for NstoreYcsbWorkload {
         let key = zipf.sample(rng);
         if rng.chance(UPDATE_RATIO) {
             self.updates += 1;
-            let version = self.versions.get(&key).copied().unwrap_or(0) + 1;
+            let version = self.versions.get(key).copied().unwrap_or(0) + 1;
             let value = value_pattern(key, version, txn_bytes);
             self.update(env, key, &value);
         } else {
@@ -162,7 +161,8 @@ impl Workload for NstoreYcsbWorkload {
     }
 
     fn verify(&mut self, env: &mut PmEnv) {
-        for (&key, &(version, len)) in &self.mirror.clone() {
+        let expected: Vec<(u64, (u64, usize))> = self.mirror.iter().map(|(k, v)| (k, *v)).collect();
+        for (key, (version, len)) in expected {
             let slot = self.index + key * 8;
             let rec = env.read_u64(slot);
             assert_ne!(rec, 0, "key {key} missing");
@@ -219,8 +219,8 @@ mod tests {
             w.transaction(&mut env, 128, &mut rng);
         }
         // Key 0 is the hottest under theta=0.99 and must dominate versions.
-        let hot = w.versions.get(&0).copied().unwrap_or(0);
-        let max = w.versions.values().copied().max().unwrap_or(0);
+        let hot = w.versions.get(0).copied().unwrap_or(0);
+        let max = w.versions.iter().map(|(_, v)| *v).max().unwrap_or(0);
         assert!(hot >= max / 2, "hot key {hot} vs max {max}");
         w.verify(&mut env);
     }

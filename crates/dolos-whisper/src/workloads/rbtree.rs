@@ -12,8 +12,7 @@
 //! node:   [key u64 | vptr u64 | color u64 | left u64 | right u64 | parent u64]
 //! ```
 
-use std::collections::HashMap as StdHashMap;
-
+use dolos_sim::flat::FlatMap;
 use dolos_sim::rng::XorShift;
 
 use crate::env::PmEnv;
@@ -36,8 +35,8 @@ pub struct RbtreeWorkload {
     keyspace: u64,
     header: u64,
     log: Option<UndoLog>,
-    mirror: StdHashMap<u64, (u64, usize)>,
-    versions: StdHashMap<u64, u64>,
+    mirror: FlatMap<(u64, usize)>,
+    versions: FlatMap<u64>,
 }
 
 impl RbtreeWorkload {
@@ -47,8 +46,8 @@ impl RbtreeWorkload {
             keyspace,
             header: 0,
             log: None,
-            mirror: StdHashMap::new(),
-            versions: StdHashMap::new(),
+            mirror: FlatMap::new(),
+            versions: FlatMap::new(),
         }
     }
 
@@ -242,7 +241,7 @@ impl Workload for RbtreeWorkload {
         // undo/redo logging doubling the payload, the value is half of it.
         let txn_bytes = (txn_bytes / 2).max(64);
         let key = rng.next_below(self.keyspace) + 1;
-        let version = self.versions.entry(key).or_insert(0);
+        let version = self.versions.get_mut_or_insert(key, 0);
         *version += 1;
         let version = *version;
         let value = value_pattern(key, version, txn_bytes);
@@ -256,7 +255,8 @@ impl Workload for RbtreeWorkload {
             assert_eq!(self.get(env, root, OFF_COLOR), BLACK, "root must be black");
             self.check_invariants(env, root);
         }
-        for (&key, &(version, len)) in &self.mirror.clone() {
+        let expected: Vec<(u64, (u64, usize))> = self.mirror.iter().map(|(k, v)| (k, *v)).collect();
+        for (key, (version, len)) in expected {
             let node = self
                 .find(env, key)
                 .unwrap_or_else(|| panic!("key {key} missing"));

@@ -13,8 +13,7 @@
 //! value: [version u64 | len u64 | bytes...]
 //! ```
 
-use std::collections::HashMap as StdHashMap;
-
+use dolos_sim::flat::FlatMap;
 use dolos_sim::rng::XorShift;
 
 use crate::env::PmEnv;
@@ -32,8 +31,8 @@ pub struct RedisWorkload {
     aof_capacity: u64,
     aof_head: u64,
     rewrites: u64,
-    mirror: StdHashMap<u64, (u64, usize)>,
-    versions: StdHashMap<u64, u64>,
+    mirror: FlatMap<(u64, usize)>,
+    versions: FlatMap<u64>,
 }
 
 impl RedisWorkload {
@@ -47,8 +46,8 @@ impl RedisWorkload {
             aof_capacity: 512 * 1024,
             aof_head: 64,
             rewrites: 0,
-            mirror: StdHashMap::new(),
-            versions: StdHashMap::new(),
+            mirror: FlatMap::new(),
+            versions: FlatMap::new(),
         }
     }
 
@@ -134,7 +133,7 @@ impl Workload for RedisWorkload {
         let txn_bytes = (txn_bytes / 2).max(64);
         let key = rng.next_below(self.keyspace);
         env.work(30); // command parsing (RESP protocol)
-        let version = self.versions.entry(key).or_insert(0);
+        let version = self.versions.get_mut_or_insert(key, 0);
         *version += 1;
         let version = *version;
         let value = value_pattern(key, version, txn_bytes);
@@ -143,7 +142,8 @@ impl Workload for RedisWorkload {
     }
 
     fn verify(&mut self, env: &mut PmEnv) {
-        for (&key, &(version, len)) in &self.mirror.clone() {
+        let expected: Vec<(u64, (u64, usize))> = self.mirror.iter().map(|(k, v)| (k, *v)).collect();
+        for (key, (version, len)) in expected {
             let slot = self.dict_slot(env, key);
             assert_eq!(env.read_u64(slot), key + 1, "key {key} missing");
             let vptr = env.read_u64(slot + 8);

@@ -15,7 +15,7 @@
 //! customer:   [count u64 | records: (kind u64, id u64, note bytes)...]
 //! ```
 
-use std::collections::HashMap as StdHashMap;
+use std::collections::BTreeMap;
 
 use dolos_sim::rng::XorShift;
 
@@ -36,9 +36,9 @@ pub struct VacationWorkload {
     customer_base: u64,
     log: Option<UndoLog>,
     /// Volatile mirror: reserved count per (kind, resource id).
-    reserved: StdHashMap<(usize, u64), u64>,
+    reserved: BTreeMap<(usize, u64), u64>,
     /// Volatile mirror: records per customer.
-    itineraries: StdHashMap<u64, Vec<(u64, u64)>>,
+    itineraries: BTreeMap<u64, Vec<(u64, u64)>>,
 }
 
 impl VacationWorkload {
@@ -49,8 +49,8 @@ impl VacationWorkload {
             tables: [0; RESOURCE_KINDS],
             customer_base: 0,
             log: None,
-            reserved: StdHashMap::new(),
-            itineraries: StdHashMap::new(),
+            reserved: BTreeMap::new(),
+            itineraries: BTreeMap::new(),
         }
     }
 
