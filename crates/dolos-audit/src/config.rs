@@ -58,6 +58,7 @@ impl Config {
                 "dolos-sim",
                 "dolos-chaos",
                 "dolos-whisper",
+                "dolos-verify",
             ]),
             clock_exempt_crates: to_vec(&["dolos-bench"]),
             strict_panic_files: to_vec(&[
@@ -67,6 +68,9 @@ impl Config {
                 "dolos-chaos/src/campaign.rs",
                 "dolos-chaos/src/schedule.rs",
                 "dolos-chaos/src/shrink.rs",
+                "dolos-verify/src/engine.rs",
+                "dolos-verify/src/campaign.rs",
+                "dolos-verify/src/scenario.rs",
             ]),
             sanctioned_persistence_files: to_vec(&[
                 "dolos-nvm/src/device.rs",

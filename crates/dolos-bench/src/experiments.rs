@@ -42,11 +42,14 @@ pub enum ExperimentId {
     /// Extension workloads (Memcached, Vacation) under Figure-12 conditions,
     /// plus the eADR comparison the introduction alludes to.
     Extended,
+    /// Conformance — the dolos-verify differential matrix and metamorphic
+    /// invariants over a seeded campaign (DESIGN.md §12).
+    Conformance,
 }
 
 impl ExperimentId {
     /// All experiments, in paper order.
-    pub const ALL: [ExperimentId; 11] = [
+    pub const ALL: [ExperimentId; 12] = [
         ExperimentId::Fig6,
         ExperimentId::Fig12,
         ExperimentId::Table2,
@@ -58,6 +61,7 @@ impl ExperimentId {
         ExperimentId::Recovery,
         ExperimentId::Ablations,
         ExperimentId::Extended,
+        ExperimentId::Conformance,
     ];
 
     /// CLI name ("fig6", "table2", ...).
@@ -74,6 +78,7 @@ impl ExperimentId {
             ExperimentId::Recovery => "recovery",
             ExperimentId::Ablations => "ablations",
             ExperimentId::Extended => "extended",
+            ExperimentId::Conformance => "conformance",
         }
     }
 
@@ -206,6 +211,7 @@ impl ExperimentConfig {
             ExperimentId::Recovery => self.recovery(),
             ExperimentId::Ablations => self.ablations(),
             ExperimentId::Extended => self.extended(),
+            ExperimentId::Conformance => self.conformance(),
         }
     }
 
@@ -547,6 +553,21 @@ impl ExperimentConfig {
             ]);
         }
         vec![t]
+    }
+
+    /// Conformance: the cross-scheme differential matrix and metamorphic
+    /// invariant probes from `dolos-verify` (DESIGN.md §12), sized to a
+    /// quick sweep. Byte-identical output at any `jobs` value, like every
+    /// other experiment.
+    pub fn conformance(&self) -> Vec<Table> {
+        let config = dolos_verify::VerifyConfig {
+            seed: self.seed,
+            traces: 64,
+            jobs: self.jobs,
+            ..dolos_verify::VerifyConfig::default()
+        };
+        let report = dolos_verify::run_verify(&config);
+        vec![report.table(), report.metamorphic_table()]
     }
 }
 

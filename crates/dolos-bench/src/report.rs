@@ -1,158 +1,8 @@
-//! Plain-text table rendering for experiment output.
+//! Plain-text table rendering (re-export).
+//!
+//! The implementation moved to [`dolos_sim::table`] so that report-producing
+//! crates (chaos campaigns, the verify conformance matrix) can render tables
+//! without pulling in the wall-clock-exempt bench harness. This module keeps
+//! the original `dolos_bench::report` paths working.
 
-/// A rendered table: header row plus data rows, all strings.
-#[derive(Debug, Clone, Default)]
-pub struct Table {
-    title: String,
-    header: Vec<String>,
-    rows: Vec<Vec<String>>,
-}
-
-impl Table {
-    /// Creates a table with a title and column headers.
-    pub fn new(title: &str, header: &[&str]) -> Self {
-        Self {
-            title: title.to_owned(),
-            header: header.iter().map(|s| (*s).to_owned()).collect(),
-            rows: Vec::new(),
-        }
-    }
-
-    /// Appends a row (must match the header width).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the row width differs from the header width.
-    pub fn row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
-        self.rows.push(cells);
-    }
-
-    /// Number of data rows.
-    pub fn len(&self) -> usize {
-        self.rows.len()
-    }
-
-    /// Whether the table has no data rows.
-    pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
-    }
-
-    /// The table's title.
-    pub fn title(&self) -> &str {
-        &self.title
-    }
-
-    /// Renders the table as CSV (header + rows).
-    pub fn to_csv(&self) -> String {
-        let escape = |cell: &str| -> String {
-            if cell.contains(',') || cell.contains('"') {
-                format!("\"{}\"", cell.replace('"', "\"\""))
-            } else {
-                cell.to_owned()
-            }
-        };
-        let mut out = String::new();
-        out.push_str(
-            &self
-                .header
-                .iter()
-                .map(|c| escape(c))
-                .collect::<Vec<_>>()
-                .join(","),
-        );
-        out.push('\n');
-        for row in &self.rows {
-            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
-            out.push('\n');
-        }
-        out
-    }
-
-    /// Renders the table with aligned columns.
-    pub fn render(&self) -> String {
-        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
-        for row in &self.rows {
-            for (i, cell) in row.iter().enumerate() {
-                widths[i] = widths[i].max(cell.len());
-            }
-        }
-        let mut out = String::new();
-        out.push_str(&format!("## {}\n", self.title));
-        let fmt_row = |cells: &[String]| -> String {
-            let mut line = String::new();
-            for (i, cell) in cells.iter().enumerate() {
-                if i > 0 {
-                    line.push_str("  ");
-                }
-                line.push_str(&format!("{:>width$}", cell, width = widths[i]));
-            }
-            line
-        };
-        out.push_str(&fmt_row(&self.header));
-        out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
-        out.push('\n');
-        for row in &self.rows {
-            out.push_str(&fmt_row(row));
-            out.push('\n');
-        }
-        out
-    }
-}
-
-/// Formats a float with 2 decimals.
-pub fn f2(v: f64) -> String {
-    format!("{v:.2}")
-}
-
-/// Formats a float with 3 decimals.
-pub fn f3(v: f64) -> String {
-    format!("{v:.3}")
-}
-
-/// Formats a float with 1 decimal.
-pub fn f1(v: f64) -> String {
-    format!("{v:.1}")
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn renders_aligned_columns() {
-        let mut t = Table::new("demo", &["name", "value"]);
-        t.row(vec!["a".into(), "1".into()]);
-        t.row(vec!["long-name".into(), "12345".into()]);
-        let text = t.render();
-        assert!(text.contains("## demo"));
-        assert!(text.contains("long-name"));
-        assert_eq!(t.len(), 2);
-        assert!(!t.is_empty());
-    }
-
-    #[test]
-    #[should_panic(expected = "width")]
-    fn mismatched_row_panics() {
-        let mut t = Table::new("demo", &["a", "b"]);
-        t.row(vec!["only-one".into()]);
-    }
-
-    #[test]
-    fn csv_escapes_commas_and_quotes() {
-        let mut t = Table::new("t", &["a", "b"]);
-        t.row(vec!["x,y".into(), "he said \"hi\"".into()]);
-        let csv = t.to_csv();
-        assert!(csv.contains("\"x,y\""));
-        assert!(csv.contains("\"he said \"\"hi\"\"\""));
-        assert_eq!(t.title(), "t");
-    }
-
-    #[test]
-    fn float_formatting() {
-        assert_eq!(f2(1.666), "1.67");
-        assert_eq!(f3(1.6666), "1.667");
-        assert_eq!(f1(201.32), "201.3");
-    }
-}
+pub use dolos_sim::table::{f1, f2, f3, Table};

@@ -16,9 +16,9 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use dolos_bench::report::Table;
 use dolos_core::{ControllerConfig, MiSuKind};
 use dolos_sim::rng::XorShift;
+use dolos_sim::table::Table;
 use dolos_whisper::workloads::WorkloadKind;
 use dolos_whisper::PmEnv;
 

@@ -95,7 +95,10 @@ fn fill_line(rng: &mut XorShift) -> Line {
 
 /// Applies a tamper while the system is crashed. Returns `false` if the
 /// spec's target had no resident lines to corrupt.
-fn apply_tamper(
+///
+/// Public so other falsifiers (`dolos-verify`) inject the same corruption
+/// classes without re-deriving the torn-dump snapshot plumbing.
+pub fn apply_tamper(
     nvm: &mut NvmDevice,
     layout: &MetadataLayout,
     spec: TamperSpec,

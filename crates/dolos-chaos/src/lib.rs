@@ -16,8 +16,9 @@
 //!   survive exactly, the one in-flight write may be old-or-new, and
 //!   tampering must be *detected* (a [`dolos_core::SecurityError`]) or
 //!   provably harmless — never silent corruption;
-//! * [`mod@shrink`] — greedily minimizes a failing schedule to the smallest
-//!   reproducer, property-testing style;
+//! * [`mod@shrink`] — greedily minimizes failing scenarios to the smallest
+//!   reproducer, property-testing style; generic over [`Shrinkable`], so
+//!   other falsifiers (`dolos-verify`) reuse the same engine;
 //! * [`campaign`] — sweeps schedules and WHISPER workloads across all six
 //!   controller designs and emits a pass/fail matrix plus a JSON report.
 //!
@@ -33,6 +34,6 @@ pub mod schedule;
 pub mod shrink;
 
 pub use campaign::{run_campaign, CampaignConfig, CampaignReport, DesignSummary, FailureCase};
-pub use driver::{run_schedule, RoundOutcome, RoundResult, RunReport};
+pub use driver::{apply_tamper, run_schedule, RoundOutcome, RoundResult, RunReport};
 pub use schedule::{Round, Schedule, ScheduleConfig, TamperSpec};
-pub use shrink::shrink;
+pub use shrink::{shrink, shrink_with, Shrinkable};

@@ -114,6 +114,18 @@ pub enum ControllerKind {
 }
 
 impl ControllerKind {
+    /// Every controller architecture, in the presentation order used by the
+    /// reports (non-secure bound, infeasible comparison, baseline, then the
+    /// three Dolos design options).
+    pub const ALL: [ControllerKind; 6] = [
+        ControllerKind::IdealNonSecure,
+        ControllerKind::DeferredSecure,
+        ControllerKind::PreWpqSecure,
+        ControllerKind::Dolos(MiSuKind::Full),
+        ControllerKind::Dolos(MiSuKind::Partial),
+        ControllerKind::Dolos(MiSuKind::Post),
+    ];
+
     /// Short name used in reports.
     pub fn name(self) -> &'static str {
         match self {
@@ -124,6 +136,13 @@ impl ControllerKind {
             ControllerKind::Dolos(MiSuKind::Partial) => "dolos-partial",
             ControllerKind::Dolos(MiSuKind::Post) => "dolos-post",
         }
+    }
+
+    /// Inverse of [`ControllerKind::name`]: resolves a stable report name
+    /// back to the architecture, for CLI flags and replayable repro strings.
+    /// Returns `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|kind| kind.name() == name)
     }
 }
 
@@ -196,6 +215,14 @@ impl ControllerConfig {
     /// The infeasible deferred-security comparison point (Fig 5-c / Fig 6).
     pub fn deferred() -> Self {
         Self::with_kind(ControllerKind::DeferredSecure)
+    }
+
+    /// Builds the default configuration for a scheme named by its stable
+    /// report string ("ideal", "pre-wpq-secure", "dolos-post", ...). The
+    /// scheme factory used by the differential harnesses and CLI tools;
+    /// returns `None` for unknown names.
+    pub fn named(name: &str) -> Option<Self> {
+        ControllerKind::from_name(name).map(Self::with_kind)
     }
 
     fn with_kind(kind: ControllerKind) -> Self {
@@ -350,6 +377,17 @@ mod tests {
             assert!(kind.usable_wpq_entries(1) >= 1);
             assert!(kind.usable_wpq_entries(2) >= 1);
         }
+    }
+
+    #[test]
+    fn scheme_factory_round_trips_every_name() {
+        for kind in ControllerKind::ALL {
+            assert_eq!(ControllerKind::from_name(kind.name()), Some(kind));
+            let config = ControllerConfig::named(kind.name()).unwrap();
+            assert_eq!(config.kind, kind);
+        }
+        assert_eq!(ControllerKind::from_name("dolos"), None);
+        assert!(ControllerConfig::named("no-such-scheme").is_none());
     }
 
     #[test]

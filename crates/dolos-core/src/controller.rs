@@ -706,6 +706,17 @@ impl SecureMemorySystem {
         }
     }
 
+    /// Smallest critical-path persist latency observed so far, in cycles,
+    /// or `None` before the first completed persist.
+    ///
+    /// This is the observation hook the conformance harness keys its
+    /// metamorphic latency ordering on: the minimum isolates the scheme's
+    /// intrinsic critical path (0 / 160 / 320 / full-pipeline cycles) from
+    /// queueing and cache-state noise that inflates the mean.
+    pub fn persist_latency_min(&self) -> Option<u64> {
+        self.persist_latency.min()
+    }
+
     /// Snapshots every statistic of the system.
     pub fn stats(&self) -> StatSet {
         let mut s = self.wpq.stats();
@@ -722,6 +733,10 @@ impl SecureMemorySystem {
         s.set("ctrl.retries_per_kwr", self.retries_per_kwr());
         s.set("ctrl.read_wpq_hits", self.read_wpq_hits as f64);
         s.set("ctrl.persist_latency_mean", self.persist_latency.mean());
+        s.set(
+            "ctrl.persist_latency_min",
+            self.persist_latency.min().unwrap_or(0) as f64,
+        );
         s.set(
             "ctrl.persist_latency_max",
             self.persist_latency.max().unwrap_or(0) as f64,
@@ -774,6 +789,36 @@ mod tests {
             let mut sys = SecureMemorySystem::new(ControllerConfig::dolos(kind));
             let done = sys.persist_write(Cycle::ZERO, 0, &line(1));
             assert_eq!(done.as_u64(), expected, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn persist_latency_min_exposes_the_intrinsic_critical_path() {
+        for (config, expected) in [
+            (ControllerConfig::dolos(MiSuKind::Full), 320),
+            (ControllerConfig::dolos(MiSuKind::Partial), 160),
+            (ControllerConfig::dolos(MiSuKind::Post), 0),
+            (ControllerConfig::ideal(), 0),
+            (ControllerConfig::baseline(), 2890),
+        ] {
+            let mut sys = SecureMemorySystem::new(config);
+            assert_eq!(
+                sys.persist_latency_min(),
+                None,
+                "{}",
+                sys.config().kind.name()
+            );
+            sys.persist_write(Cycle::ZERO, 0, &line(1));
+            assert_eq!(
+                sys.persist_latency_min(),
+                Some(expected),
+                "{}",
+                sys.config().kind.name()
+            );
+            assert_eq!(
+                sys.stats().get_or_zero("ctrl.persist_latency_min"),
+                expected as f64
+            );
         }
     }
 

@@ -56,12 +56,28 @@ impl Iv {
 
     /// Serializes the IV into an AES block, with `block_index` occupying the
     /// padding field so each 16-byte slice of a cacheline gets a distinct IV.
+    ///
+    /// Layout (little-endian fields):
+    ///
+    /// ```text
+    /// byte  0..5   page ID (low 40 bits; 4 KiB pages cover 2^52 B)
+    /// byte  5..7   page offset (cacheline index within the page)
+    /// byte  7      block index within the cacheline
+    /// byte  8..16  counter, all 64 bits
+    /// ```
+    ///
+    /// The counter field carries the full `u64`: a truncated counter would
+    /// reuse a pad once the increment stream crosses the truncation
+    /// boundary, which is exactly the one-time-pad violation counter-mode
+    /// must never permit. The page-ID field is the one deliberately
+    /// narrowed — its 40 bits still address 2^52 bytes of 4 KiB pages,
+    /// far beyond any configuration the simulator models.
     fn to_block(self, block_index: u8) -> Block {
         let mut block = [0u8; BLOCK_SIZE];
-        block[0..6].copy_from_slice(&self.page_id.to_le_bytes()[0..6]);
-        block[6..8].copy_from_slice(&self.page_offset.to_le_bytes());
-        block[8..15].copy_from_slice(&self.counter.to_le_bytes()[0..7]);
-        block[15] = block_index;
+        block[0..5].copy_from_slice(&self.page_id.to_le_bytes()[0..5]);
+        block[5..7].copy_from_slice(&self.page_offset.to_le_bytes());
+        block[7] = block_index;
+        block[8..16].copy_from_slice(&self.counter.to_le_bytes());
         block
     }
 }

@@ -14,7 +14,8 @@
 //! * [`pool`] — a deterministic scoped-thread job pool for sweeps whose
 //!   output must not depend on thread count;
 //! * [`flat`] — a sorted flat map used for per-line metadata tables whose
-//!   iteration order must be reproducible.
+//!   iteration order must be reproducible;
+//! * [`table`] — plain-text table rendering shared by every report surface.
 //!
 //! The simulation style throughout the workspace is *lazy catch-up*: every
 //! model keeps the cycle at which it next becomes free and advances itself
@@ -42,6 +43,7 @@ pub mod pool;
 pub mod resource;
 pub mod rng;
 pub mod stats;
+pub mod table;
 
 use core::fmt;
 use core::ops::{Add, AddAssign, Sub};

@@ -1,0 +1,518 @@
+//! The differential engine: one scenario, every scheme, one shared oracle.
+//!
+//! A scenario's operation stream is precomputed once — addresses from the
+//! [`dolos_whisper::gen`] transaction generator, payloads baked from a
+//! seeded stream — and then replayed against each scheme. Alongside every
+//! replay the engine maintains a pure reference model (a plaintext map of
+//! acknowledged writes): a persist call that returns `Ok` commits into the
+//! model; a call interrupted at `wpq-insert` committed in hardware (the
+//! ADR domain accepted the line) and commits too; a call interrupted at
+//! `persist-start` is lost. Every read during the stream and every line of
+//! post-crash recovered state is checked against the model, so
+//!
+//! * **semantic conformance** is "zero divergences against the model", and
+//! * **cross-scheme identity** reduces to every scheme acknowledging the
+//!   same persist prefix — checked by comparing the rendered fault-firing
+//!   positions and commit counts across schemes.
+//!
+//! Tamper rounds are terminal and carry the chaos obligations: a secure
+//! scheme must detect the corruption or provably land in un-diverged
+//! state; the non-secure reference has no detection duty — absorbed
+//! corruption is recorded, not failed.
+
+use std::collections::BTreeMap;
+
+use dolos_chaos::{apply_tamper, TamperSpec};
+use dolos_core::inject::{FaultPlan, InjectionPoint};
+use dolos_core::{ControllerConfig, ControllerKind, MiSuKind, SecureMemorySystem, SecurityError};
+use dolos_nvm::Line;
+use dolos_secmem::layout::MetaRegion;
+use dolos_sim::rng::XorShift;
+use dolos_sim::Cycle;
+use dolos_whisper::gen::{self, TraceGenConfig};
+use dolos_whisper::trace::TraceOp;
+
+use crate::scenario::Scenario;
+
+/// The five schemes the conformance matrix sweeps, in report order: the
+/// non-secure reference, the eager-BMT baseline, then the three Mi-SU
+/// design options.
+pub fn verify_schemes() -> [ControllerConfig; 5] {
+    [
+        ControllerConfig::ideal(),
+        ControllerConfig::baseline(),
+        ControllerConfig::dolos(MiSuKind::Full),
+        ControllerConfig::dolos(MiSuKind::Partial),
+        ControllerConfig::dolos(MiSuKind::Post),
+    ]
+}
+
+/// One precomputed operation of the engine stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineOp {
+    /// Advance simulated time.
+    Advance(u64),
+    /// One fence batch of persist calls with baked payloads.
+    Batch(Vec<(u64, Line)>),
+    /// A background writeback (persists through the same path).
+    Writeback(u64, Line),
+    /// A demand read, checked against the model.
+    Read(u64),
+}
+
+fn round_seed(seed: u64, round: usize) -> u64 {
+    seed ^ (round as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+fn bake_line(rng: &mut XorShift) -> Line {
+    let mut data = [0u8; 64];
+    for chunk in data.chunks_mut(8) {
+        chunk.copy_from_slice(&rng.next_u64().to_le_bytes());
+    }
+    data
+}
+
+/// Precomputes one round's operation stream: generator addresses plus a
+/// deterministic payload per persist call. Every scheme replays exactly
+/// this vector.
+pub fn build_round_ops(scenario: &Scenario, round: usize, txns: usize) -> Vec<EngineOp> {
+    let seed = round_seed(scenario.seed, round);
+    let gen_config = TraceGenConfig {
+        txns,
+        keyspace: scenario.keyspace,
+        ..TraceGenConfig::default()
+    };
+    let trace = gen::generate(seed, &gen_config);
+    let mut pay = XorShift::new(seed ^ 0x0BAD_F00D);
+    let mut ops = Vec::with_capacity(trace.len());
+    for op in trace.iter() {
+        match op {
+            TraceOp::Work(n) | TraceOp::Delay(n) => ops.push(EngineOp::Advance(*n)),
+            TraceOp::PersistBatch(lines) => ops.push(EngineOp::Batch(
+                lines
+                    .iter()
+                    .map(|&addr| (addr, bake_line(&mut pay)))
+                    .collect(),
+            )),
+            TraceOp::Writeback(addr) => ops.push(EngineOp::Writeback(*addr, bake_line(&mut pay))),
+            TraceOp::Read(addr) => ops.push(EngineOp::Read(*addr)),
+        }
+    }
+    ops
+}
+
+/// Everything one scheme's replay of a scenario observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemeObservation {
+    /// Scheme name.
+    pub scheme: &'static str,
+    /// Divergences against the shared model (empty on a clean run).
+    pub divergences: Vec<String>,
+    /// Per-round fault firing, rendered as `point#persist-index` or `-`.
+    /// Equal across schemes iff every scheme acknowledged the same persist
+    /// prefix.
+    pub fired: Vec<String>,
+    /// Acknowledged (committed) persist calls.
+    pub commits: u64,
+    /// Reads checked against the model during the streams.
+    pub reads_checked: u64,
+    /// Recovered-state lines checked against the model after crashes.
+    pub lines_checked: u64,
+    /// A tamper round ended in detection (security property fired).
+    pub tamper_detected: bool,
+    /// A tamper was applied, went undetected, and the state still matched
+    /// the model (corruption hit dead state).
+    pub tamper_harmless: bool,
+    /// Non-secure reference only: undetected corruption diverged the data
+    /// and was absorbed. Recorded, never a failure for the reference.
+    pub tamper_absorbed: bool,
+}
+
+impl SchemeObservation {
+    /// Whether this scheme met every obligation.
+    pub fn pass(&self) -> bool {
+        self.divergences.is_empty()
+    }
+}
+
+fn zero_line() -> Line {
+    [0u8; 64]
+}
+
+fn render_line_prefix(line: &Line) -> String {
+    format!(
+        "{:02x}{:02x}{:02x}{:02x}..",
+        line[0], line[1], line[2], line[3]
+    )
+}
+
+/// Replays `scenario` on one scheme, checking every obligation against the
+/// shared model. Deterministic: equal inputs give equal observations.
+pub fn run_scheme(config: &ControllerConfig, scenario: &Scenario) -> SchemeObservation {
+    let secure = !matches!(config.kind, ControllerKind::IdealNonSecure);
+    let mut sys = SecureMemorySystem::new(config.clone());
+    let layout = *sys.layout();
+    let mut model: BTreeMap<u64, Line> = BTreeMap::new();
+    let mut obs = SchemeObservation {
+        scheme: config.kind.name(),
+        divergences: Vec::new(),
+        fired: Vec::new(),
+        commits: 0,
+        reads_checked: 0,
+        lines_checked: 0,
+        tamper_detected: false,
+        tamper_harmless: false,
+        tamper_absorbed: false,
+    };
+
+    for (index, round) in scenario.rounds.iter().enumerate() {
+        let ops = build_round_ops(scenario, index, round.txns);
+
+        // Stale-epoch snapshot for a scheduled torn dump, taken before this
+        // round's crash overwrites the region.
+        let dump_snapshot = if matches!(round.tamper, Some(TamperSpec::TornDump { .. })) {
+            let (start, end) = layout.region_range(MetaRegion::WpqDump);
+            sys.nvm().snapshot_range(start, end)
+        } else {
+            Vec::new()
+        };
+
+        if let Some((point, nth)) = round.fault {
+            sys.arm_fault(FaultPlan::new(point, nth));
+        }
+        let mut t = Cycle::ZERO;
+        let mut persist_index: u64 = 0;
+        let mut fired: Option<(InjectionPoint, u64)> = None;
+
+        // One persist call; returns false when the stream must stop (the
+        // armed fault fired or the call failed outright).
+        let mut persist = |sys: &mut SecureMemorySystem,
+                           t: &mut Cycle,
+                           obs: &mut SchemeObservation,
+                           model: &mut BTreeMap<u64, Line>,
+                           addr: u64,
+                           payload: Line|
+         -> bool {
+            match sys.try_persist_write(*t, addr, &payload) {
+                Ok(done) => {
+                    *t = done;
+                    model.insert(addr, payload);
+                    obs.commits += 1;
+                    persist_index += 1;
+                    true
+                }
+                Err(SecurityError::PowerInterrupted { point }) => {
+                    // The insert-point fault fires after the ADR domain
+                    // accepted the line: that persist is committed.
+                    if point == InjectionPoint::WpqInsert {
+                        model.insert(addr, payload);
+                        obs.commits += 1;
+                    }
+                    fired = Some((point, persist_index));
+                    false
+                }
+                Err(e) => {
+                    obs.divergences
+                        .push(format!("round {index}: persist failed: {e}"));
+                    false
+                }
+            }
+        };
+
+        'stream: for op in &ops {
+            match op {
+                EngineOp::Advance(n) => t += *n,
+                EngineOp::Batch(lines) => {
+                    for &(addr, payload) in lines {
+                        if !persist(&mut sys, &mut t, &mut obs, &mut model, addr, payload) {
+                            break 'stream;
+                        }
+                    }
+                }
+                EngineOp::Writeback(addr, payload) => {
+                    if !persist(&mut sys, &mut t, &mut obs, &mut model, *addr, *payload) {
+                        break 'stream;
+                    }
+                }
+                EngineOp::Read(addr) => {
+                    let (done, data) = sys.read(t, *addr);
+                    t = done;
+                    obs.reads_checked += 1;
+                    let expect = model.get(addr).copied().unwrap_or_else(zero_line);
+                    if data != expect {
+                        obs.divergences.push(format!(
+                            "round {index}: read {addr:#x} returned {} want {}",
+                            render_line_prefix(&data),
+                            render_line_prefix(&expect)
+                        ));
+                    }
+                }
+            }
+        }
+        sys.disarm_fault();
+        if !obs.divergences.is_empty() {
+            return obs;
+        }
+        obs.fired.push(match fired {
+            Some((point, i)) => format!("{}#{i}", point.name()),
+            None => "-".to_string(),
+        });
+
+        if round.quiesce && !sys.is_crashed() {
+            t = sys.quiesce(t);
+        }
+        if !sys.is_crashed() {
+            sys.crash(t);
+        }
+
+        // --- adversarial window ---
+        let tampered = match round.tamper {
+            Some(spec) => apply_tamper(sys.nvm_mut(), &layout, spec, &dump_snapshot),
+            None => false,
+        };
+
+        // --- boot, retrying once on a scheduled nested crash ---
+        if let Some(nth) = round.nested {
+            sys.arm_fault(FaultPlan::new(InjectionPoint::RecoveryReplay, nth));
+        }
+        let mut recovery = sys.recover();
+        if matches!(
+            recovery,
+            Err(SecurityError::PowerInterrupted {
+                point: InjectionPoint::RecoveryReplay,
+            })
+        ) {
+            recovery = sys.recover();
+        }
+        sys.disarm_fault();
+
+        let detected = match recovery {
+            Ok(_) => sys.audit().err(),
+            Err(e) => Some(e),
+        };
+        if let Some(error) = detected {
+            if tampered {
+                obs.tamper_detected = true;
+                return obs; // terminal: the machine refuses to come up
+            }
+            obs.divergences
+                .push(format!("round {index}: spurious detection: {error}"));
+            return obs;
+        }
+
+        // --- recovered state vs the model, line by line ---
+        let mut diverged = false;
+        for (&addr, expect) in &model {
+            let (_, data) = sys.read(Cycle::ZERO, addr);
+            obs.lines_checked += 1;
+            if data != *expect {
+                diverged = true;
+                if tampered && !secure {
+                    continue; // absorbed by the non-secure reference
+                }
+                obs.divergences.push(format!(
+                    "round {index}: recovered {addr:#x} holds {} want {}{}",
+                    render_line_prefix(&data),
+                    render_line_prefix(expect),
+                    if tampered { " (silent corruption)" } else { "" }
+                ));
+            }
+        }
+        if !obs.divergences.is_empty() {
+            return obs;
+        }
+        if tampered {
+            if diverged {
+                obs.tamper_absorbed = true;
+            } else {
+                obs.tamper_harmless = true;
+            }
+            return obs; // tamper rounds are terminal
+        }
+    }
+    obs
+}
+
+/// Verdict of one scenario across all schemes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioVerdict {
+    /// The scenario, rendered (replayable).
+    pub scenario: String,
+    /// Per-scheme observations, in [`verify_schemes`] order.
+    pub observations: Vec<SchemeObservation>,
+    /// Cross-scheme divergences (fault cuts or commit counts that differ
+    /// between schemes).
+    pub cross_failures: Vec<String>,
+}
+
+impl ScenarioVerdict {
+    /// Whether every scheme passed and all schemes agreed.
+    pub fn pass(&self) -> bool {
+        self.cross_failures.is_empty() && self.observations.iter().all(|o| o.pass())
+    }
+
+    /// The first failure message, if any.
+    pub fn first_failure(&self) -> Option<String> {
+        for obs in &self.observations {
+            if let Some(d) = obs.divergences.first() {
+                return Some(format!("{}: {d}", obs.scheme));
+            }
+        }
+        self.cross_failures.first().cloned()
+    }
+}
+
+/// Runs one scenario through every scheme and cross-checks the outcomes.
+pub fn run_scenario(scenario: &Scenario) -> ScenarioVerdict {
+    let schemes = verify_schemes();
+    let observations: Vec<SchemeObservation> = schemes
+        .iter()
+        .map(|config| run_scheme(config, scenario))
+        .collect();
+    let mut cross_failures = Vec::new();
+    let reference = &observations[0];
+    for obs in &observations[1..] {
+        // A detected tamper ends the run before its round's state checks,
+        // so commit totals are only comparable when both runs completed
+        // the same rounds; the fired cut positions are always comparable
+        // over the rounds both executed.
+        let rounds = obs.fired.len().min(reference.fired.len());
+        if obs.fired[..rounds] != reference.fired[..rounds] {
+            cross_failures.push(format!(
+                "{} cut at [{}] but {} cut at [{}]",
+                reference.scheme,
+                reference.fired[..rounds].join(","),
+                obs.scheme,
+                obs.fired[..rounds].join(",")
+            ));
+        }
+        if obs.fired.len() == reference.fired.len()
+            && !obs.tamper_detected
+            && !reference.tamper_detected
+            && obs.commits != reference.commits
+        {
+            cross_failures.push(format!(
+                "{} acknowledged {} persists but {} acknowledged {}",
+                reference.scheme, reference.commits, obs.scheme, obs.commits
+            ));
+        }
+    }
+    ScenarioVerdict {
+        scenario: scenario.to_string(),
+        observations,
+        cross_failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioConfig;
+
+    #[test]
+    fn clean_scenarios_pass_on_every_scheme() {
+        let config = ScenarioConfig {
+            tamper: false,
+            ..ScenarioConfig::default()
+        };
+        for seed in 0..8 {
+            let scenario = Scenario::generate(seed, &config);
+            let verdict = run_scenario(&scenario);
+            assert!(
+                verdict.pass(),
+                "{}: {:?}",
+                verdict.scenario,
+                verdict.first_failure()
+            );
+            for obs in &verdict.observations {
+                assert!(obs.commits > 0, "{}", obs.scheme);
+                assert!(obs.lines_checked > 0, "{}", obs.scheme);
+            }
+        }
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let scenario = Scenario::generate(5, &ScenarioConfig::default());
+        assert_eq!(run_scenario(&scenario), run_scenario(&scenario));
+    }
+
+    #[test]
+    fn schemes_share_one_operation_stream() {
+        let scenario = Scenario::generate(1, &ScenarioConfig::default());
+        let a = build_round_ops(&scenario, 0, scenario.rounds[0].txns);
+        let b = build_round_ops(&scenario, 0, scenario.rounds[0].txns);
+        assert_eq!(a, b);
+        assert!(a.iter().any(|op| matches!(op, EngineOp::Batch(_))));
+    }
+
+    #[test]
+    fn persist_start_cut_loses_the_interrupted_write() {
+        // Pin the cut semantics: a fault at persist-start#0 means zero
+        // commits in that round, wpq-insert#0 means exactly one.
+        use dolos_core::inject::InjectionPoint;
+        for (point, expect) in [
+            (InjectionPoint::PersistStart, 0),
+            (InjectionPoint::WpqInsert, 1),
+        ] {
+            let scenario = Scenario {
+                seed: 77,
+                keyspace: 16,
+                rounds: vec![crate::scenario::VerifyRound {
+                    txns: 3,
+                    fault: Some((point, 0)),
+                    quiesce: false,
+                    nested: None,
+                    tamper: None,
+                }],
+            };
+            let verdict = run_scenario(&scenario);
+            assert!(verdict.pass(), "{:?}", verdict.first_failure());
+            for obs in &verdict.observations {
+                assert_eq!(obs.commits, expect, "{} at {}", obs.scheme, point.name());
+                assert_eq!(obs.fired, vec![format!("{}#0", point.name())]);
+            }
+        }
+    }
+
+    #[test]
+    fn dump_tamper_is_detected_by_every_misu_scheme() {
+        // Cut at a WPQ insert so the queue is guaranteed non-empty at the
+        // crash. Only the Mi-SU designs materialise a WpqDump region
+        // (`crash()` replays ideal/pre-wpq-secure entries in place), so the
+        // flip must be *detected* by every dolos-* scheme and *skipped* —
+        // no resident line to corrupt — by ideal and the eager baseline.
+        let scenario = Scenario {
+            seed: 3,
+            keyspace: 16,
+            rounds: vec![crate::scenario::VerifyRound {
+                txns: 4,
+                fault: Some((dolos_core::inject::InjectionPoint::WpqInsert, 2)),
+                quiesce: false,
+                nested: None,
+                tamper: Some(TamperSpec::FlipBit {
+                    region: MetaRegion::WpqDump,
+                    pick: 0,
+                    bit: 9,
+                }),
+            }],
+        };
+        let verdict = run_scenario(&scenario);
+        assert!(verdict.pass(), "{:?}", verdict.first_failure());
+        for obs in &verdict.observations {
+            if obs.scheme.starts_with("dolos-") {
+                assert!(
+                    obs.tamper_detected,
+                    "{}: expected dump tamper detection, got {obs:?}",
+                    obs.scheme
+                );
+            } else {
+                assert!(
+                    !obs.tamper_detected && !obs.tamper_harmless && !obs.tamper_absorbed,
+                    "{}: expected skipped tamper (no dump region), got {obs:?}",
+                    obs.scheme
+                );
+            }
+        }
+    }
+}

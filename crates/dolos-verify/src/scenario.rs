@@ -1,0 +1,470 @@
+//! Conformance scenarios: seeded, replayable, shrinkable.
+//!
+//! A [`Scenario`] is the unit of differential testing: one deterministic
+//! operation stream (transaction-shaped rounds from the
+//! [`dolos_whisper::gen`] generator) plus the adversarial decorations —
+//! a power-failure cut, an optional nested recovery crash, an optional
+//! post-crash tamper — that every configured scheme must survive
+//! identically. Scenarios render to a compact string
+//! (`seed=7;keys=32;[t4@wpq-insert#9+q;t2+flip(data,0,9)]`) that parses
+//! back losslessly, so a campaign failure is replayable from the report
+//! alone.
+//!
+//! Crash cuts are restricted to the two *scheme-independent* injection
+//! points: [`InjectionPoint::PersistStart`] fires at the head of every
+//! persist call (the interrupted write is lost in every scheme) and
+//! [`InjectionPoint::WpqInsert`] fires exactly once per accepted persist
+//! (the interrupted write is ADR-committed in every scheme). Points whose
+//! occurrence count depends on the scheme (`misu-protect`, `masu-drain`)
+//! would make the cross-scheme oracle ambiguous and are excluded by
+//! construction.
+
+use core::fmt;
+use core::str::FromStr;
+
+use dolos_chaos::{Shrinkable, TamperSpec};
+use dolos_core::inject::InjectionPoint;
+use dolos_secmem::layout::MetaRegion;
+use dolos_sim::rng::XorShift;
+
+/// One crash round of a scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyRound {
+    /// Transactions generated for the round's operation stream.
+    pub txns: usize,
+    /// Power failure at the nth occurrence of a scheme-independent
+    /// injection point; `None` crashes at the end of the stream.
+    pub fault: Option<(InjectionPoint, u64)>,
+    /// Drain the WPQ before crashing (the settled-state variant).
+    pub quiesce: bool,
+    /// Nested power failure at the nth recovery-replay step of this
+    /// round's recovery; the boot is then retried once.
+    pub nested: Option<u64>,
+    /// NVM corruption applied while the machine is dark. Terminal: the
+    /// round either ends in detection or must verify clean.
+    pub tamper: Option<TamperSpec>,
+}
+
+/// A full conformance scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scenario {
+    /// Seed for operation streams and payloads.
+    pub seed: u64,
+    /// Data lines addressable by the generated transactions.
+    pub keyspace: u64,
+    /// Crash rounds, executed in order against one system instance.
+    pub rounds: Vec<VerifyRound>,
+}
+
+/// Shape of generated scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScenarioConfig {
+    /// Rounds per scenario.
+    pub rounds: usize,
+    /// Maximum transactions per round (at least 1 is always generated).
+    pub txns_per_round: usize,
+    /// Data keyspace in lines.
+    pub keyspace: u64,
+    /// Whether the final round may tamper with NVM while crashed.
+    pub tamper: bool,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        Self {
+            rounds: 2,
+            txns_per_round: 6,
+            keyspace: 32,
+            tamper: true,
+        }
+    }
+}
+
+/// The two injection points whose occurrence index is the persist-call
+/// index in *every* scheme (see the module docs).
+pub const CUT_POINTS: [InjectionPoint; 2] =
+    [InjectionPoint::PersistStart, InjectionPoint::WpqInsert];
+
+impl Scenario {
+    /// Generates a scenario from a seed. Deterministic; tampering is
+    /// confined to the final round because tamper rounds are terminal.
+    pub fn generate(seed: u64, config: &ScenarioConfig) -> Self {
+        let mut rng = XorShift::new(seed ^ 0xD1FF_5EED);
+        let rounds = config.rounds.max(1);
+        let mut out = Vec::with_capacity(rounds);
+        for index in 0..rounds {
+            let txns = 1 + rng.next_below(config.txns_per_round.max(1) as u64) as usize;
+            // A transaction issues up to 2*batch+1 persist calls; aiming the
+            // occurrence inside (and occasionally past) the stream exercises
+            // both firing and non-firing cuts.
+            let fault = if rng.chance(0.7) {
+                let point = CUT_POINTS[rng.next_below(2) as usize];
+                let nth = rng.next_below((txns as u64) * 8);
+                Some((point, nth))
+            } else {
+                None
+            };
+            let quiesce = rng.chance(0.25);
+            let nested = if rng.chance(0.3) {
+                Some(rng.next_below(8))
+            } else {
+                None
+            };
+            let tamper = if config.tamper && index + 1 == rounds && rng.chance(0.6) {
+                Some(if rng.chance(0.7) {
+                    TamperSpec::FlipBit {
+                        region: MetaRegion::ALL[rng.next_below(5) as usize],
+                        pick: rng.next_u64(),
+                        bit: rng.next_below(512) as u32,
+                    }
+                } else {
+                    TamperSpec::TornDump {
+                        drop: 1 + rng.next_below(3) as usize,
+                    }
+                })
+            } else {
+                None
+            };
+            out.push(VerifyRound {
+                txns,
+                fault,
+                quiesce,
+                nested,
+                tamper,
+            });
+        }
+        Self {
+            seed,
+            keyspace: config.keyspace.max(1),
+            rounds: out,
+        }
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seed={};keys={};[", self.seed, self.keyspace)?;
+        for (i, round) in self.rounds.iter().enumerate() {
+            if i > 0 {
+                f.write_str(";")?;
+            }
+            write!(f, "t{}", round.txns)?;
+            if let Some((point, nth)) = round.fault {
+                write!(f, "@{}#{nth}", point.name())?;
+            }
+            if round.quiesce {
+                f.write_str("+q")?;
+            }
+            if let Some(nth) = round.nested {
+                write!(f, "+n#{nth}")?;
+            }
+            match round.tamper {
+                Some(TamperSpec::FlipBit { region, pick, bit }) => {
+                    write!(f, "+flip({},{pick},{bit})", region.name())?;
+                }
+                Some(TamperSpec::TornDump { drop }) => write!(f, "+torn({drop})")?,
+                None => {}
+            }
+        }
+        f.write_str("]")
+    }
+}
+
+/// Error parsing a rendered scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseScenarioError {
+    reason: String,
+}
+
+impl ParseScenarioError {
+    fn new(reason: impl Into<String>) -> Self {
+        Self {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scenario parse error: {}", self.reason)
+    }
+}
+
+impl std::error::Error for ParseScenarioError {}
+
+fn parse_cut_point(name: &str) -> Result<InjectionPoint, ParseScenarioError> {
+    CUT_POINTS
+        .into_iter()
+        .find(|p| p.name() == name)
+        .ok_or_else(|| ParseScenarioError::new(format!("not a scheme-independent cut: {name}")))
+}
+
+fn parse_region(name: &str) -> Result<MetaRegion, ParseScenarioError> {
+    MetaRegion::ALL
+        .into_iter()
+        .find(|r| r.name() == name)
+        .ok_or_else(|| ParseScenarioError::new(format!("unknown region: {name}")))
+}
+
+fn parse_num<T: FromStr>(text: &str, what: &str) -> Result<T, ParseScenarioError> {
+    text.parse()
+        .map_err(|_| ParseScenarioError::new(format!("bad {what}: {text:?}")))
+}
+
+fn parse_round(text: &str) -> Result<VerifyRound, ParseScenarioError> {
+    let mut tokens = text.split('+');
+    let head = tokens
+        .next()
+        .ok_or_else(|| ParseScenarioError::new("empty round"))?;
+    let head = head
+        .strip_prefix('t')
+        .ok_or_else(|| ParseScenarioError::new(format!("round must start with t<N>: {text:?}")))?;
+    let (txns, fault) = match head.split_once('@') {
+        Some((txns, cut)) => {
+            let (point, nth) = cut
+                .split_once('#')
+                .ok_or_else(|| ParseScenarioError::new(format!("cut needs #nth: {cut:?}")))?;
+            (
+                parse_num(txns, "txns")?,
+                Some((parse_cut_point(point)?, parse_num(nth, "occurrence")?)),
+            )
+        }
+        None => (parse_num(head, "txns")?, None),
+    };
+    let mut round = VerifyRound {
+        txns,
+        fault,
+        quiesce: false,
+        nested: None,
+        tamper: None,
+    };
+    for token in tokens {
+        if token == "q" {
+            round.quiesce = true;
+        } else if let Some(nth) = token.strip_prefix("n#") {
+            round.nested = Some(parse_num(nth, "nested occurrence")?);
+        } else if let Some(args) = token
+            .strip_prefix("flip(")
+            .and_then(|t| t.strip_suffix(')'))
+        {
+            let mut parts = args.split(',');
+            let region = parse_region(parts.next().unwrap_or_default())?;
+            let pick = parse_num(parts.next().unwrap_or_default(), "pick")?;
+            let bit = parse_num(parts.next().unwrap_or_default(), "bit")?;
+            if parts.next().is_some() {
+                return Err(ParseScenarioError::new("flip takes three arguments"));
+            }
+            round.tamper = Some(TamperSpec::FlipBit { region, pick, bit });
+        } else if let Some(drop) = token
+            .strip_prefix("torn(")
+            .and_then(|t| t.strip_suffix(')'))
+        {
+            round.tamper = Some(TamperSpec::TornDump {
+                drop: parse_num(drop, "torn drop count")?,
+            });
+        } else {
+            return Err(ParseScenarioError::new(format!("unknown token: {token:?}")));
+        }
+    }
+    Ok(round)
+}
+
+impl FromStr for Scenario {
+    type Err = ParseScenarioError;
+
+    fn from_str(text: &str) -> Result<Self, Self::Err> {
+        let text = text.trim();
+        let rest = text
+            .strip_prefix("seed=")
+            .ok_or_else(|| ParseScenarioError::new("expected seed=<N>"))?;
+        let (seed, rest) = rest
+            .split_once(";keys=")
+            .ok_or_else(|| ParseScenarioError::new("expected ;keys=<N>"))?;
+        let (keys, rounds) = rest
+            .split_once(";[")
+            .ok_or_else(|| ParseScenarioError::new("expected ;[rounds]"))?;
+        let rounds = rounds
+            .strip_suffix(']')
+            .ok_or_else(|| ParseScenarioError::new("unterminated round list"))?;
+        let mut parsed = Vec::new();
+        for part in rounds.split(';') {
+            if part.is_empty() {
+                continue;
+            }
+            parsed.push(parse_round(part)?);
+        }
+        if parsed.is_empty() {
+            return Err(ParseScenarioError::new("scenario needs at least one round"));
+        }
+        Ok(Scenario {
+            seed: parse_num(seed, "seed")?,
+            keyspace: parse_num(keys, "keyspace")?,
+            rounds: parsed,
+        })
+    }
+}
+
+impl Shrinkable for Scenario {
+    fn candidates(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        if self.rounds.len() > 1 {
+            for i in 0..self.rounds.len() {
+                let mut s = self.clone();
+                s.rounds.remove(i);
+                out.push(s);
+            }
+        }
+        for i in 0..self.rounds.len() {
+            let round = &self.rounds[i];
+            if round.txns > 1 {
+                let mut s = self.clone();
+                s.rounds[i].txns = round.txns / 2;
+                out.push(s);
+            }
+            if round.nested.is_some() {
+                let mut s = self.clone();
+                s.rounds[i].nested = None;
+                out.push(s);
+            }
+            if round.quiesce {
+                let mut s = self.clone();
+                s.rounds[i].quiesce = false;
+                out.push(s);
+            }
+            if round.tamper.is_some() {
+                let mut s = self.clone();
+                s.rounds[i].tamper = None;
+                out.push(s);
+            }
+            if round.fault.is_some() {
+                let mut s = self.clone();
+                s.rounds[i].fault = None;
+                out.push(s);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = ScenarioConfig::default();
+        assert_eq!(
+            Scenario::generate(9, &config),
+            Scenario::generate(9, &config)
+        );
+        assert_ne!(
+            Scenario::generate(9, &config),
+            Scenario::generate(10, &config)
+        );
+    }
+
+    #[test]
+    fn generated_faults_use_only_scheme_independent_cuts() {
+        let config = ScenarioConfig {
+            rounds: 4,
+            ..ScenarioConfig::default()
+        };
+        for seed in 0..200 {
+            let scenario = Scenario::generate(seed, &config);
+            for round in &scenario.rounds {
+                if let Some((point, _)) = round.fault {
+                    assert!(CUT_POINTS.contains(&point), "{point:?}");
+                }
+            }
+            // Tamper only on the final round.
+            for round in &scenario.rounds[..scenario.rounds.len() - 1] {
+                assert!(round.tamper.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn rendering_round_trips() {
+        let config = ScenarioConfig {
+            rounds: 3,
+            ..ScenarioConfig::default()
+        };
+        for seed in 0..300 {
+            let scenario = Scenario::generate(seed, &config);
+            let text = scenario.to_string();
+            let parsed: Scenario = text.parse().unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert_eq!(parsed, scenario, "{text}");
+        }
+    }
+
+    #[test]
+    fn parser_rejects_scheme_dependent_cuts_and_garbage() {
+        assert!("seed=1;keys=8;[t4@misu-protect#0]"
+            .parse::<Scenario>()
+            .is_err());
+        assert!("seed=1;keys=8;[t4@masu-drain#2]"
+            .parse::<Scenario>()
+            .is_err());
+        assert!("seed=1;keys=8;[]".parse::<Scenario>().is_err());
+        assert!("seed=x;keys=8;[t4]".parse::<Scenario>().is_err());
+        assert!("seed=1;keys=8;[w4]".parse::<Scenario>().is_err());
+        assert!("seed=1;keys=8;[t4+flip(data,1)]"
+            .parse::<Scenario>()
+            .is_err());
+        assert!("seed=1;keys=8;[t4".parse::<Scenario>().is_err());
+    }
+
+    #[test]
+    fn fixed_rendering_is_pinned() {
+        let scenario = Scenario {
+            seed: 7,
+            keyspace: 32,
+            rounds: vec![
+                VerifyRound {
+                    txns: 4,
+                    fault: Some((InjectionPoint::WpqInsert, 9)),
+                    quiesce: true,
+                    nested: Some(1),
+                    tamper: None,
+                },
+                VerifyRound {
+                    txns: 2,
+                    fault: None,
+                    quiesce: false,
+                    nested: None,
+                    tamper: Some(TamperSpec::FlipBit {
+                        region: MetaRegion::Data,
+                        pick: 0,
+                        bit: 9,
+                    }),
+                },
+            ],
+        };
+        let text = scenario.to_string();
+        assert_eq!(
+            text,
+            "seed=7;keys=32;[t4@wpq-insert#9+q+n#1;t2+flip(data,0,9)]"
+        );
+        assert_eq!(text.parse::<Scenario>().ok(), Some(scenario));
+    }
+
+    #[test]
+    fn shrink_candidates_are_strictly_smaller() {
+        let scenario = Scenario::generate(3, &ScenarioConfig::default());
+        let weight = |s: &Scenario| {
+            s.rounds
+                .iter()
+                .map(|r| {
+                    r.txns * 16
+                        + usize::from(r.fault.is_some())
+                        + usize::from(r.quiesce)
+                        + usize::from(r.nested.is_some())
+                        + usize::from(r.tamper.is_some())
+                })
+                .sum::<usize>()
+        };
+        for candidate in scenario.candidates() {
+            assert!(weight(&candidate) < weight(&scenario));
+        }
+    }
+}

@@ -11,6 +11,8 @@
 //!   instruction-count model for CPI;
 //! * [`txn`] — PMDK-style undo-log transactions (log before data, ordered
 //!   by fences, commit marker, truncation);
+//! * [`mod@gen`] — seeded synthetic transaction-shaped traces for the
+//!   conformance and chaos harnesses;
 //! * [`workloads`] — the six benchmarks behind one [`Workload`] trait;
 //! * [`runner`] — warm-up + measured-run orchestration producing
 //!   [`runner::RunResult`] rows for the experiment harness.
@@ -33,6 +35,7 @@
 
 pub mod cpu_cache;
 pub mod env;
+pub mod gen;
 pub mod oracle;
 pub mod runner;
 pub mod trace;
@@ -40,6 +43,7 @@ pub mod txn;
 pub mod workloads;
 
 pub use env::PmEnv;
+pub use gen::{generate, TraceGenConfig};
 pub use oracle::{GoldenOracle, OracleMismatch};
 pub use runner::{run_workload, RunConfig, RunResult};
 pub use trace::{ReplayResult, Trace, TraceOp};
