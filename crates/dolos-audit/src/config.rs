@@ -59,6 +59,7 @@ impl Config {
                 "dolos-chaos",
                 "dolos-whisper",
                 "dolos-verify",
+                "dolos-trace",
             ]),
             clock_exempt_crates: to_vec(&["dolos-bench"]),
             strict_panic_files: to_vec(&[
@@ -71,6 +72,11 @@ impl Config {
                 "dolos-verify/src/engine.rs",
                 "dolos-verify/src/campaign.rs",
                 "dolos-verify/src/scenario.rs",
+                "dolos-trace/src/hist.rs",
+                "dolos-trace/src/attrib.rs",
+                "dolos-trace/src/profile.rs",
+                "dolos-trace/src/chrome.rs",
+                "dolos-trace/src/lib.rs",
             ]),
             sanctioned_persistence_files: to_vec(&[
                 "dolos-nvm/src/device.rs",

@@ -12,17 +12,24 @@
 //! `BENCH_<YYYY-MM-DD>.json` in the working directory. Tables and the
 //! bench JSON are identical at any `--jobs` value apart from wall-clock
 //! fields: sweep results are merged in cell order, never completion order.
+//!
+//! `bench --trace` additionally runs the `dolos-trace` mini-bench — every
+//! report scheme × WHISPER workload with event recording on — and appends
+//! per-cell persist-latency histogram columns (p50/p95/p99/max) to the
+//! JSON. Those rows contain only simulated quantities, so they too are
+//! byte-identical at any `--jobs` value.
 
 use std::process::ExitCode;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
-use dolos_bench::emit::{civil_date_utc, BenchEntry, BenchReport};
+use dolos_bench::emit::{civil_date_utc, BenchEntry, BenchReport, TraceRow};
 use dolos_bench::{ExperimentConfig, ExperimentId};
+use dolos_trace::ProfileConfig;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: experiments <all|bench|{}> [--transactions N] [--warmup N] [--seed N] \
-         [--jobs N] [--csv DIR]",
+         [--jobs N] [--csv DIR] [--trace]",
         ExperimentId::ALL
             .iter()
             .map(|e| e.name())
@@ -38,11 +45,13 @@ fn main() -> ExitCode {
     let mut selected: Vec<ExperimentId> = Vec::new();
     let mut csv_dir: Option<String> = None;
     let mut bench = false;
+    let mut trace = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "all" => selected.extend(ExperimentId::ALL),
             "bench" => bench = true,
+            "--trace" => trace = true,
             "--transactions" => match iter.next().and_then(|v| v.parse().ok()) {
                 Some(n) => config.transactions = n,
                 None => return usage(),
@@ -119,6 +128,34 @@ fn main() -> ExitCode {
         eprintln!("[{} done in {:.1}ms]", id.name(), wall_ms);
     }
     if bench {
+        let trace_rows = if trace {
+            let profile = dolos_trace::run_profile(&ProfileConfig {
+                transactions: config.transactions,
+                warmup: config.warmup,
+                seed: config.seed,
+                jobs: config.jobs,
+                ..ProfileConfig::default()
+            });
+            let rows: Vec<TraceRow> = profile
+                .schemes
+                .iter()
+                .flat_map(|scheme| {
+                    scheme.cells.iter().map(|cell| TraceRow {
+                        scheme: cell.scheme.to_owned(),
+                        workload: cell.workload.to_owned(),
+                        persists: cell.persists,
+                        p50: cell.latency.percentile(0.50),
+                        p95: cell.latency.percentile(0.95),
+                        p99: cell.latency.percentile(0.99),
+                        max: cell.latency.max().unwrap_or(0),
+                    })
+                })
+                .collect();
+            eprintln!("[trace mini-bench: {} cells]", rows.len());
+            rows
+        } else {
+            Vec::new()
+        };
         let secs = SystemTime::now()
             .duration_since(UNIX_EPOCH)
             .map(|d| d.as_secs())
@@ -130,6 +167,7 @@ fn main() -> ExitCode {
             seed: config.seed,
             jobs: config.jobs,
             entries,
+            trace: trace_rows,
         };
         let path = report.file_name();
         if let Err(e) = std::fs::write(&path, report.to_json()) {

@@ -35,6 +35,28 @@ impl BenchEntry {
     }
 }
 
+/// One traced (scheme, workload) cell from a `bench --trace` run: the
+/// persist-latency histogram columns of `dolos-trace`'s profile engine.
+/// All fields are simulated quantities, so rows are byte-stable across
+/// machines and `--jobs` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRow {
+    /// Scheme report name ("ideal", "dolos-post", ...).
+    pub scheme: String,
+    /// Workload display name ("Hashmap", "NStore:YCSB", ...).
+    pub workload: String,
+    /// Persists acknowledged in the measured window.
+    pub persists: u64,
+    /// Median persist critical-path latency, cycles.
+    pub p50: u64,
+    /// 95th-percentile persist latency, cycles.
+    pub p95: u64,
+    /// 99th-percentile persist latency, cycles.
+    pub p99: u64,
+    /// Largest persist latency, cycles.
+    pub max: u64,
+}
+
 /// A full `experiments bench` run: configuration echo plus one entry per
 /// experiment, in run order.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,6 +73,9 @@ pub struct BenchReport {
     pub jobs: usize,
     /// Per-experiment tallies, in run order.
     pub entries: Vec<BenchEntry>,
+    /// Traced mini-bench histogram rows (`bench --trace`); empty when
+    /// tracing was not requested.
+    pub trace: Vec<TraceRow>,
 }
 
 impl BenchReport {
@@ -80,6 +105,22 @@ impl BenchReport {
                 e.sim_cycles,
                 e.cells_per_sec(),
                 if i + 1 == self.entries.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"trace\": [\n");
+        for (i, t) in self.trace.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"scheme\": \"{}\", \"workload\": \"{}\", \"persists\": {}, \
+                 \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}}{}\n",
+                t.scheme,
+                t.workload,
+                t.persists,
+                t.p50,
+                t.p95,
+                t.p99,
+                t.max,
+                if i + 1 == self.trace.len() { "" } else { "," }
             ));
         }
         out.push_str("  ],\n");
@@ -156,6 +197,15 @@ mod tests {
                     sim_cycles: 600_000,
                 },
             ],
+            trace: vec![TraceRow {
+                scheme: "dolos-partial".into(),
+                workload: "Hashmap".into(),
+                persists: 93,
+                p50: 160,
+                p95: 480,
+                p99: 640,
+                max: 640,
+            }],
         };
         assert_eq!(report.file_name(), "BENCH_2026-08-06.json");
         let json = report.to_json();
@@ -164,6 +214,8 @@ mod tests {
         assert!(json.contains("\"sim_cycles\": 1600000"));
         assert!(json.contains("\"cells_per_sec\": 10.000"));
         assert!(json.contains("\"cells_per_sec\": 14.000"));
+        assert!(json.contains("\"scheme\": \"dolos-partial\""));
+        assert!(json.contains("\"p99\": 640"));
         // Balanced braces/brackets and no trailing comma before a closer.
         let opens = json.matches(['{', '[']).count();
         let closes = json.matches(['}', ']']).count();

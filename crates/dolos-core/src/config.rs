@@ -1,6 +1,7 @@
 //! Controller configuration (Table 1 plus the Dolos design-space knobs).
 
 use dolos_crypto::latency::CryptoLatency;
+use dolos_sim::trace::TraceMode;
 
 /// Which Mi-SU design option protects the WPQ (§4.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -190,6 +191,11 @@ pub struct ControllerConfig {
     pub coalescing: bool,
     /// Deterministic key material seed (keys derive from this).
     pub key_seed: u64,
+    /// Event tracing mode. `Off` (the default) makes every trace hook a
+    /// single branch; `Record` buffers cycle-stamped events in each
+    /// component for `SecureMemorySystem::take_trace_events`. Tracing is
+    /// observation-only and never changes simulated timing.
+    pub trace: TraceMode,
 }
 
 impl ControllerConfig {
@@ -239,6 +245,7 @@ impl ControllerConfig {
             osiris_phase: 4,
             coalescing: true,
             key_seed: 0xD0105,
+            trace: TraceMode::Off,
         }
     }
 
@@ -287,6 +294,12 @@ impl ControllerConfig {
     /// Sets the Osiris stop-loss phase (builder style).
     pub fn with_osiris_phase(mut self, phase: u64) -> Self {
         self.osiris_phase = phase;
+        self
+    }
+
+    /// Sets the event-tracing mode (builder style).
+    pub fn with_trace(mut self, trace: TraceMode) -> Self {
+        self.trace = trace;
         self
     }
 

@@ -26,6 +26,7 @@ use dolos_nvm::wpq::{InsertOutcome, WriteQueue};
 use dolos_nvm::{Line, NvmDevice};
 use dolos_secmem::layout::MetadataLayout;
 use dolos_sim::stats::{Histogram, Running, StatSet};
+use dolos_sim::trace::{sort_events, EventKind, TraceEvent, TraceMode, TraceSink};
 use dolos_sim::Cycle;
 
 use crate::config::{ControllerConfig, ControllerKind};
@@ -94,6 +95,10 @@ pub struct SecureMemorySystem {
     /// A fault fired inside the background drain engine; the next fallible
     /// operation converts it into a crash.
     pending_power_failure: Option<InjectionPoint>,
+    /// Controller-level trace sink (persist spans, fence stalls). Component
+    /// sinks live inside the WPQ, NVM device, Mi-SU and Ma-SU; all buffers
+    /// merge in [`Self::take_trace_events`].
+    trace: TraceSink,
 }
 
 impl SecureMemorySystem {
@@ -126,6 +131,17 @@ impl SecureMemorySystem {
         let usable = config.usable_wpq_entries();
         let mut wpq = WriteQueue::new(usable);
         wpq.set_coalescing(config.coalescing);
+        wpq.set_trace_mode(config.trace);
+        let mut nvm = NvmDevice::new();
+        nvm.set_trace_mode(config.trace);
+        let misu = misu.map(|mut m| {
+            m.set_trace_mode(config.trace);
+            m
+        });
+        let masu = masu.map(|mut m| {
+            m.set_trace_mode(config.trace);
+            m
+        });
         let drain_depth = match config.kind {
             ControllerKind::IdealNonSecure | ControllerKind::PreWpqSecure => {
                 (dolos_nvm::device::WRITE_LATENCY / dolos_nvm::device::WRITE_ISSUE_INTERVAL)
@@ -134,9 +150,10 @@ impl SecureMemorySystem {
             _ => (config.masu_update_cycles() / config.latency.mac.max(1)) as usize + 1,
         };
         Self {
+            trace: TraceSink::from_mode(config.trace),
             config,
             layout,
-            nvm: NvmDevice::new(),
+            nvm,
             wpq,
             misu,
             masu,
@@ -153,6 +170,43 @@ impl SecureMemorySystem {
             fault: None,
             pending_power_failure: None,
         }
+    }
+
+    /// Switches the tracing mode of the whole system (controller plus every
+    /// component sink). Buffered events from the previous mode are kept
+    /// until drained with [`Self::take_trace_events`].
+    pub fn set_trace_mode(&mut self, mode: TraceMode) {
+        self.config.trace = mode;
+        self.trace = TraceSink::from_mode(mode);
+        self.wpq.set_trace_mode(mode);
+        self.nvm.set_trace_mode(mode);
+        if let Some(misu) = self.misu.as_mut() {
+            misu.set_trace_mode(mode);
+        }
+        if let Some(masu) = self.masu.as_mut() {
+            masu.set_trace_mode(mode);
+        }
+    }
+
+    /// Drains every buffered trace event (controller, WPQ, NVM device,
+    /// Mi-SU, Ma-SU) into one deterministically ordered stream.
+    ///
+    /// Returns an empty vector when tracing is off. The order is a pure
+    /// function of the event set (begin, end, kind, addr, value), so two
+    /// runs of the same workload produce byte-identical streams regardless
+    /// of component drain order.
+    pub fn take_trace_events(&mut self) -> Vec<TraceEvent> {
+        let mut events = self.trace.take();
+        events.extend(self.wpq.take_trace_events());
+        events.extend(self.nvm.take_trace_events());
+        if let Some(misu) = self.misu.as_mut() {
+            events.extend(misu.take_trace_events());
+        }
+        if let Some(masu) = self.masu.as_mut() {
+            events.extend(masu.take_trace_events());
+        }
+        sort_events(&mut events);
+        events
     }
 
     /// Arms a one-shot power-failure plan. The next time execution reaches
@@ -238,6 +292,15 @@ impl SecureMemorySystem {
                 // ① decrypt with the slot pad (one XOR), ②③ full pipeline.
                 let misu = self.misu.as_mut().expect("dolos has a Mi-SU");
                 let plaintext = misu.decrypt(slot, &payload);
+                if self.trace.is_enabled() {
+                    self.trace.span(
+                        EventKind::MasuPadDecrypt,
+                        start,
+                        start + 1,
+                        addr.as_u64(),
+                        0,
+                    );
+                }
                 self.masu
                     .as_mut()
                     .expect("dolos has a Ma-SU")
@@ -297,7 +360,7 @@ impl SecureMemorySystem {
                 if done > now {
                     break;
                 }
-                self.wpq.clear(slot);
+                self.wpq.clear_at(done, slot);
                 if let Some(misu) = self.misu.as_mut() {
                     misu.on_clear(slot);
                 }
@@ -370,6 +433,10 @@ impl SecureMemorySystem {
         }
         self.advance(now);
         self.take_power_failure(now)?;
+        if self.trace.is_enabled() {
+            self.trace
+                .instant(EventKind::PersistStart, now, addr.as_u64(), 0);
+        }
         let mut t = now;
 
         // Pre-WPQ security (baseline): the whole pipeline runs before the
@@ -391,7 +458,12 @@ impl SecureMemorySystem {
             // deferred MAC; the write retries when it is.
             if let (ControllerKind::Dolos(_), Some(misu)) = (self.config.kind, self.misu.as_mut()) {
                 if misu.is_busy(t) {
-                    t = misu.busy_until();
+                    let until = misu.busy_until();
+                    if self.trace.is_enabled() {
+                        self.trace
+                            .span(EventKind::FenceStall, t, until, addr.as_u64(), 1);
+                    }
+                    t = until;
                     self.advance(t);
                     self.take_power_failure(t)?;
                     continue;
@@ -408,6 +480,10 @@ impl SecureMemorySystem {
                 // WPQ full: one retry event, then wait for the drain.
                 self.retries += 1;
                 let free_at = self.next_slot_free_at();
+                if self.trace.is_enabled() {
+                    self.trace
+                        .span(EventKind::FenceStall, t, t.max(free_at), addr.as_u64(), 0);
+                }
                 t = t.max(free_at);
                 self.advance(t);
                 self.take_power_failure(t)?;
@@ -434,13 +510,22 @@ impl SecureMemorySystem {
                 ControllerKind::PreWpqSecure => (t, payload_pre.expect("secured above"), None),
                 _ => (t, *data, None),
             };
-            let outcome = self.wpq.try_insert(addr, payload, mac);
+            let outcome = self.wpq.try_insert_at(t, addr, payload, mac);
             match outcome {
                 InsertOutcome::Inserted { slot: s } => {
                     debug_assert_eq!(s, slot);
                     self.ready_times.push_back(done);
                     self.persist_latency.record(done - now);
                     self.persist_histogram.record(done - now);
+                    if self.trace.is_enabled() {
+                        self.trace.span(
+                            EventKind::PersistAck,
+                            now,
+                            done,
+                            addr.as_u64(),
+                            done - now,
+                        );
+                    }
                     // The persist completed: from here the write must
                     // survive any power failure.
                     if self.fault_fires(InjectionPoint::WpqInsert) {
@@ -457,6 +542,15 @@ impl SecureMemorySystem {
                     debug_assert_eq!(s, slot);
                     self.persist_latency.record(done - now);
                     self.persist_histogram.record(done - now);
+                    if self.trace.is_enabled() {
+                        self.trace.span(
+                            EventKind::PersistAck,
+                            now,
+                            done,
+                            addr.as_u64(),
+                            done - now,
+                        );
+                    }
                     if self.fault_fires(InjectionPoint::WpqInsert) {
                         self.crash(t);
                         return Err(SecurityError::PowerInterrupted {
@@ -471,6 +565,10 @@ impl SecureMemorySystem {
                     // Raced with our own slot choice: treat as a retry.
                     self.retries += 1;
                     let free_at = self.next_slot_free_at();
+                    if self.trace.is_enabled() {
+                        self.trace
+                            .span(EventKind::FenceStall, t, t.max(free_at), addr.as_u64(), 0);
+                    }
                     t = t.max(free_at);
                     self.advance(t);
                     self.take_power_failure(t)?;

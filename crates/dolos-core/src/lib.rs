@@ -45,6 +45,7 @@ pub mod misu;
 pub use audit::AuditReport;
 pub use config::{ControllerConfig, ControllerKind, MiSuKind, UpdateScheme};
 pub use controller::{RecoveryReport, SecureMemorySystem};
+pub use dolos_sim::trace::{TraceEvent, TraceMode};
 pub use error::SecurityError;
 pub use inject::{FaultPlan, InjectionPoint};
 pub use masu::MajorSecurityUnit;

@@ -37,6 +37,7 @@ use dolos_secmem::toc::TreeOfCounters;
 use dolos_sim::flat::FlatMap;
 use dolos_sim::resource::Pipeline;
 use dolos_sim::stats::StatSet;
+use dolos_sim::trace::{EventKind, TraceEvent, TraceMode, TraceSink};
 use dolos_sim::Cycle;
 
 use crate::config::UpdateScheme;
@@ -85,9 +86,16 @@ pub struct MajorSecurityUnit {
     pending_counter_updates: FlatMap<u64>,
     osiris_phase: u64,
     engine: Pipeline,
+    /// AES pad latency, kept alongside the engine so trace spans can split
+    /// one engine occupancy into its encrypt and tree-update stages.
+    aes_cycles: u64,
+    /// Serial tree-update MAC latency of the active scheme.
+    tree_cycles: u64,
     writes_processed: u64,
     overflows: u64,
     reads_served: u64,
+    /// Event sink for the cycle-stamped drain-stage spans.
+    trace: TraceSink,
 }
 
 impl MajorSecurityUnit {
@@ -123,6 +131,10 @@ impl MajorSecurityUnit {
         // Anubis must be able to track every metadata line either cache can
         // hold, so its capacity follows both cache sizes.
         let shadow_capacity = counter_cache_bytes / 64 + mt_cache_bytes / 64;
+        let tree_cycles = match scheme {
+            UpdateScheme::EagerMerkle => latency.eager_update_cycles(),
+            UpdateScheme::LazyToc => latency.lazy_update_cycles(),
+        };
         Self {
             scheme,
             layout,
@@ -141,17 +153,26 @@ impl MajorSecurityUnit {
                 // updates either, because each update rewrites the path to
                 // the root that the next depends on. The engine therefore
                 // accepts a new write only when the previous update is done.
-                let update = latency.aes
-                    + match scheme {
-                        UpdateScheme::EagerMerkle => latency.eager_update_cycles(),
-                        UpdateScheme::LazyToc => latency.lazy_update_cycles(),
-                    };
+                let update = latency.aes + tree_cycles;
                 Pipeline::new(update, update)
             },
+            aes_cycles: latency.aes,
+            tree_cycles,
             writes_processed: 0,
             overflows: 0,
             reads_served: 0,
+            trace: TraceSink::Null,
         }
+    }
+
+    /// Installs the event-tracing mode (discarding any buffered events).
+    pub fn set_trace_mode(&mut self, mode: TraceMode) {
+        self.trace = TraceSink::from_mode(mode);
+    }
+
+    /// Drains buffered trace events (empty when tracing is off).
+    pub fn take_trace_events(&mut self) -> Vec<TraceEvent> {
+        self.trace.take()
     }
 
     /// The metadata layout in use.
@@ -396,6 +417,16 @@ impl MajorSecurityUnit {
         let mt_penalty = self.fetch_tree_path(now, page, nvm);
         let start = now + miss_penalty + mt_penalty;
         let done = self.engine.acquire(start);
+        if self.trace.is_enabled() {
+            // The engine occupies one aes + tree-update slab ending at
+            // `done`; split it into its re-encrypt and tree-update stages.
+            let issue = Cycle::new(done.as_u64() - (self.aes_cycles + self.tree_cycles));
+            let encrypted = issue + self.aes_cycles;
+            self.trace
+                .span(EventKind::MasuEncrypt, issue, encrypted, addr.as_u64(), 0);
+            self.trace
+                .span(EventKind::MasuTreeUpdate, encrypted, done, addr.as_u64(), 0);
+        }
 
         let mut ciphertext = *plaintext;
         xor_in_place(&mut ciphertext, &self.pad_for(addr, counter));
@@ -416,6 +447,12 @@ impl MajorSecurityUnit {
         }
         self.write_data_mac(nvm, addr, mac);
         self.store_counter_block(done, page, &block, nvm, overflowed);
+        if self.trace.is_enabled() {
+            // The §4.4 redo-register commit point: security work and NVM
+            // effects become atomic here.
+            self.trace
+                .instant(EventKind::MasuRedoCommit, done, addr.as_u64(), 0);
+        }
 
         (done, ciphertext)
     }

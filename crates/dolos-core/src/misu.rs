@@ -27,6 +27,7 @@ use dolos_nvm::addr::LineAddr;
 use dolos_nvm::wpq::WpqEntry;
 use dolos_nvm::{Line, NvmDevice};
 use dolos_secmem::layout::MetadataLayout;
+use dolos_sim::trace::{EventKind, TraceEvent, TraceMode, TraceSink};
 use dolos_sim::Cycle;
 
 use crate::config::MiSuKind;
@@ -102,6 +103,8 @@ pub struct MinorSecurityUnit {
     deferred_busy_until: Cycle,
     /// Post design: number of writes that found the unit busy.
     busy_rejections: u64,
+    /// Event sink for the cycle-stamped MAC begin/end spans.
+    trace: TraceSink,
 }
 
 impl MinorSecurityUnit {
@@ -155,6 +158,7 @@ impl MinorSecurityUnit {
             engine_next_issue: Cycle::ZERO,
             deferred_busy_until: Cycle::ZERO,
             busy_rejections: 0,
+            trace: TraceSink::Null,
         };
         unit.regenerate_pads();
         unit.recompute_full_tree();
@@ -164,6 +168,16 @@ impl MinorSecurityUnit {
     /// Overrides the MAC latency (sensitivity sweeps).
     pub fn set_mac_latency(&mut self, cycles: u64) {
         self.mac_latency = cycles;
+    }
+
+    /// Installs the event-tracing mode (discarding any buffered events).
+    pub fn set_trace_mode(&mut self, mode: TraceMode) {
+        self.trace = TraceSink::from_mode(mode);
+    }
+
+    /// Drains buffered trace events (empty when tracing is off).
+    pub fn take_trace_events(&mut self) -> Vec<TraceEvent> {
+        self.trace.take()
     }
 
     /// The design option in use.
@@ -288,15 +302,49 @@ impl MinorSecurityUnit {
             MiSuKind::Full => {
                 self.leaf_macs[slot] = self.entry_mac(slot, addr, &ciphertext);
                 self.recompute_full_tree();
+                if self.trace.is_enabled() {
+                    let mid = issue + self.mac_latency;
+                    // Leaf MAC, then the chained WPQ-root recompute.
+                    self.trace
+                        .span(EventKind::MisuMac, issue, mid, addr.as_u64(), 1);
+                    self.trace.span(
+                        EventKind::MisuMac,
+                        mid,
+                        mid + self.mac_latency,
+                        addr.as_u64(),
+                        2,
+                    );
+                }
                 (issue + 2 * self.mac_latency, None)
             }
-            MiSuKind::Partial => (
-                issue + self.mac_latency,
-                Some(self.entry_mac(slot, addr, &ciphertext)),
-            ),
+            MiSuKind::Partial => {
+                if self.trace.is_enabled() {
+                    self.trace.span(
+                        EventKind::MisuMac,
+                        issue,
+                        issue + self.mac_latency,
+                        addr.as_u64(),
+                        1,
+                    );
+                }
+                (
+                    issue + self.mac_latency,
+                    Some(self.entry_mac(slot, addr, &ciphertext)),
+                )
+            }
             MiSuKind::Post => {
                 // The write commits now; the MAC completes in background.
                 self.deferred_busy_until = issue + self.mac_latency;
+                if self.trace.is_enabled() {
+                    // value 0: deferred, off the persist critical path.
+                    self.trace.span(
+                        EventKind::MisuMac,
+                        issue,
+                        self.deferred_busy_until,
+                        addr.as_u64(),
+                        0,
+                    );
+                }
                 (now, Some(self.entry_mac(slot, addr, &ciphertext)))
             }
         };

@@ -13,6 +13,7 @@ use std::collections::BTreeMap;
 
 use dolos_sim::resource::Pipeline;
 use dolos_sim::stats::StatSet;
+use dolos_sim::trace::{EventKind, TraceEvent, TraceMode, TraceSink};
 use dolos_sim::Cycle;
 
 use crate::{addr::LineAddr, Line, LINE_SIZE};
@@ -52,6 +53,8 @@ pub struct NvmDevice {
     /// Program cycles per line — the endurance profile (PCM cells wear out
     /// after ~1e8 writes; secure-NVM designs care about write amplification).
     write_counts: BTreeMap<u64, u64>,
+    /// Event sink for cycle-stamped read/write service spans.
+    trace: TraceSink,
 }
 
 impl Default for NvmDevice {
@@ -63,6 +66,7 @@ impl Default for NvmDevice {
             reads: 0,
             writes: 0,
             write_counts: BTreeMap::new(),
+            trace: TraceSink::Null,
         }
     }
 }
@@ -73,10 +77,24 @@ impl NvmDevice {
         Self::default()
     }
 
+    /// Installs the event-tracing mode (discarding any buffered events).
+    pub fn set_trace_mode(&mut self, mode: TraceMode) {
+        self.trace = TraceSink::from_mode(mode);
+    }
+
+    /// Drains buffered trace events (empty when tracing is off).
+    pub fn take_trace_events(&mut self) -> Vec<TraceEvent> {
+        self.trace.take()
+    }
+
     /// Reads a line, returning `(completion_time, data)`.
     pub fn read_line(&mut self, now: Cycle, addr: LineAddr) -> (Cycle, Line) {
         self.reads += 1;
         let done = self.read_port.acquire(now);
+        if self.trace.is_enabled() {
+            self.trace
+                .span(EventKind::NvmRead, now, done, addr.as_u64(), done - now);
+        }
         let data = self.peek(addr);
         (done, data)
     }
@@ -95,6 +113,15 @@ impl NvmDevice {
         self.lines.insert(addr.as_u64(), *data);
         let completed = self.write_port.acquire(now);
         let accepted = Cycle::new(completed.as_u64() - (WRITE_LATENCY - WRITE_ISSUE_INTERVAL));
+        if self.trace.is_enabled() {
+            self.trace.span(
+                EventKind::NvmWrite,
+                now,
+                completed,
+                addr.as_u64(),
+                accepted.as_u64(),
+            );
+        }
         (accepted, completed)
     }
 

@@ -16,6 +16,8 @@
 use dolos_crypto::mac::Mac64;
 use dolos_sim::flat::FlatMap;
 use dolos_sim::stats::StatSet;
+use dolos_sim::trace::{EventKind, TraceEvent, TraceMode, TraceSink};
+use dolos_sim::Cycle;
 
 use crate::{addr::LineAddr, Line};
 
@@ -101,6 +103,8 @@ pub struct WriteQueue {
     coalesces: u64,
     full_events: u64,
     read_hits: u64,
+    /// Event sink for the cycle-stamped insert/retire/occupancy trace.
+    trace: TraceSink,
 }
 
 impl WriteQueue {
@@ -123,7 +127,18 @@ impl WriteQueue {
             coalesces: 0,
             full_events: 0,
             read_hits: 0,
+            trace: TraceSink::Null,
         }
+    }
+
+    /// Installs the event-tracing mode (discarding any buffered events).
+    pub fn set_trace_mode(&mut self, mode: TraceMode) {
+        self.trace = TraceSink::from_mode(mode);
+    }
+
+    /// Drains buffered trace events (empty when tracing is off).
+    pub fn take_trace_events(&mut self) -> Vec<TraceEvent> {
+        self.trace.take()
     }
 
     /// Total slot count.
@@ -205,6 +220,65 @@ impl WriteQueue {
         self.live += 1;
         self.inserts += 1;
         InsertOutcome::Inserted { slot }
+    }
+
+    /// [`WriteQueue::try_insert`] with a cycle stamp: when tracing is on,
+    /// successful inserts emit [`EventKind::WpqInsert`]/
+    /// [`EventKind::WpqCoalesce`] plus an [`EventKind::WpqOccupancy`] sample
+    /// carrying the live occupancy after the operation. Timing-neutral: the
+    /// outcome is exactly `try_insert`'s.
+    pub fn try_insert_at(
+        &mut self,
+        now: Cycle,
+        addr: LineAddr,
+        payload: Line,
+        mac: Option<Mac64>,
+    ) -> InsertOutcome {
+        let outcome = self.try_insert(addr, payload, mac);
+        if self.trace.is_enabled() {
+            let occupancy = self.live as u64;
+            match outcome {
+                InsertOutcome::Inserted { .. } => {
+                    self.trace
+                        .instant(EventKind::WpqInsert, now, addr.as_u64(), occupancy);
+                    self.trace
+                        .instant(EventKind::WpqOccupancy, now, 0, occupancy);
+                }
+                InsertOutcome::Coalesced { .. } => {
+                    self.trace
+                        .instant(EventKind::WpqCoalesce, now, addr.as_u64(), occupancy);
+                    self.trace
+                        .instant(EventKind::WpqOccupancy, now, 0, occupancy);
+                }
+                // The requester's stall is the controller's event
+                // (EventKind::FenceStall); a full queue changes nothing here.
+                InsertOutcome::Full => {}
+            }
+        }
+        outcome
+    }
+
+    /// [`WriteQueue::clear`] with a cycle stamp: when tracing is on, emits
+    /// [`EventKind::WpqRetire`] plus an [`EventKind::WpqOccupancy`] sample
+    /// carrying the live occupancy after the retire.
+    ///
+    /// # Panics
+    ///
+    /// As [`WriteQueue::clear`].
+    pub fn clear_at(&mut self, now: Cycle, slot: usize) {
+        let addr = if self.trace.is_enabled() {
+            self.slots[slot].entry().map(|e| e.addr.as_u64())
+        } else {
+            None
+        };
+        self.clear(slot);
+        if let Some(addr) = addr {
+            let occupancy = self.live as u64;
+            self.trace
+                .instant(EventKind::WpqRetire, now, addr, occupancy);
+            self.trace
+                .instant(EventKind::WpqOccupancy, now, 0, occupancy);
+        }
     }
 
     /// Sets the MAC of an occupied slot (Post-WPQ computes MACs after
@@ -427,6 +501,33 @@ mod tests {
         assert!(q.is_empty());
         assert!(!q.is_full());
         assert!(q.lookup(addr(0)).is_none());
+    }
+
+    #[test]
+    fn traced_ops_emit_occupancy_samples_without_changing_outcomes() {
+        let mut plain = WriteQueue::new(2);
+        let mut traced = WriteQueue::new(2);
+        traced.set_trace_mode(TraceMode::Record);
+        let t = Cycle::new(7);
+        for (i, a) in [0u64, 0, 1].iter().enumerate() {
+            let expect = plain.try_insert(addr(*a), [i as u8; 64], None);
+            let got = traced.try_insert_at(t, addr(*a), [i as u8; 64], None);
+            assert_eq!(expect, got);
+        }
+        let e = traced.fetch_oldest().unwrap();
+        traced.clear_at(Cycle::new(9), e.slot);
+        let events = traced.take_trace_events();
+        let occupancy: Vec<u64> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::WpqOccupancy)
+            .map(|e| e.value)
+            .collect();
+        // insert(1), coalesce(1), insert(2), retire(1).
+        assert_eq!(occupancy, vec![1, 1, 2, 1]);
+        assert!(events.iter().any(|e| e.kind == EventKind::WpqCoalesce));
+        assert!(events.iter().any(|e| e.kind == EventKind::WpqRetire));
+        // An untraced queue emits nothing.
+        assert!(plain.take_trace_events().is_empty());
     }
 
     #[test]

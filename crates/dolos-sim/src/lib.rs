@@ -15,7 +15,9 @@
 //!   output must not depend on thread count;
 //! * [`flat`] — a sorted flat map used for per-line metadata tables whose
 //!   iteration order must be reproducible;
-//! * [`table`] — plain-text table rendering shared by every report surface.
+//! * [`table`] — plain-text table rendering shared by every report surface;
+//! * [`trace`] — cycle-stamped event/span vocabulary the timing-bearing
+//!   crates emit into and the `dolos-trace` analysis crate consumes.
 //!
 //! The simulation style throughout the workspace is *lazy catch-up*: every
 //! model keeps the cycle at which it next becomes free and advances itself
@@ -44,6 +46,7 @@ pub mod resource;
 pub mod rng;
 pub mod stats;
 pub mod table;
+pub mod trace;
 
 use core::fmt;
 use core::ops::{Add, AddAssign, Sub};

@@ -247,6 +247,17 @@ impl StatSet {
     }
 
     /// Merges another set into this one, summing overlapping names.
+    ///
+    /// Storage and display order are always name-sorted, but the summed
+    /// *values* are `f64` additions, which are not associative: merging
+    /// the same sets in a different order can differ in the last ulp.
+    /// Reproducible reports must therefore hold the merge order fixed
+    /// (the controller merges component sets in one hard-coded sequence,
+    /// and the parallel pools merge partition results in item order).
+    /// Integer-valued counters are exact under any order; only derived
+    /// ratios and means carry rounding. For histogram data with an
+    /// order-independent merge, use `dolos-trace`'s `TraceHistogram`,
+    /// whose merge is associative by construction.
     pub fn merge(&mut self, other: &StatSet) {
         for (k, v) in other.iter() {
             self.add(k, v);
@@ -264,6 +275,9 @@ impl StatSet {
     }
 }
 
+/// Exports one `name = value` line per statistic, in sorted name order —
+/// the export order is a pure function of the set's contents, independent
+/// of insertion or merge sequence.
 impl fmt::Display for StatSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (k, v) in self.iter() {

@@ -1,0 +1,392 @@
+//! Cycle-stamped event tracing for the secure-memory pipeline.
+//!
+//! Every timing-bearing component (controller, Mi-SU, Ma-SU, WPQ, NVM
+//! device) owns a [`TraceSink`] and, when recording is enabled, emits
+//! [`TraceEvent`]s stamped with simulated-cycle begin/end times. The sink is
+//! observation-only: emitting an event never touches [`Cycle`] arithmetic,
+//! so a recorded run is cycle-identical to an untraced one (pinned by test
+//! in `dolos-trace`). With the default [`TraceMode::Off`] every hook is a
+//! single enum-discriminant branch — the zero-overhead-when-disabled path.
+//!
+//! Determinism rules:
+//!
+//! * events carry **simulated** cycles only — no wall-clock, no host state;
+//! * each component buffers its own events; a merged stream is produced by
+//!   draining every buffer and sorting with [`sort_events`], whose order is
+//!   a pure function of the event set;
+//! * the simulator itself is deterministic, so the merged stream (and any
+//!   report derived from it) is byte-identical across runs and `--jobs`
+//!   values.
+//!
+//! Analysis (histograms, critical-path attribution, Chrome export) lives in
+//! the `dolos-trace` crate; this module only defines the vocabulary shared
+//! by the emitting crates.
+
+use crate::Cycle;
+
+/// Whether a memory system records trace events.
+///
+/// Carried by `ControllerConfig` so it can flow through clones across the
+/// deterministic job pool; `Off` is the default and costs one branch per
+/// hook.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// No events are recorded; every hook is a no-op branch.
+    #[default]
+    Off,
+    /// Events are buffered in each component's [`RecordingTracer`].
+    Record,
+}
+
+/// What happened. The `value` payload of the matching [`TraceEvent`] is
+/// kind-specific; see each variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EventKind {
+    /// A persist request arrived at the controller (instant; `value` 0).
+    PersistStart,
+    /// A persist was acknowledged ADR-durable: the span runs from request
+    /// arrival to WPQ acceptance — the persist critical path. `value` is
+    /// the span length in cycles (the persist latency).
+    PersistAck,
+    /// The requesting thread stalled at a full WPQ or a busy deferred-MAC
+    /// engine before the insert could proceed. `value` is 0 for a
+    /// WPQ-full stall, 1 for a Mi-SU busy stall (Post design).
+    FenceStall,
+    /// A line was inserted into a free WPQ slot (instant; `value` is the
+    /// live occupancy *after* the insert).
+    WpqInsert,
+    /// An insert coalesced into a live slot holding the same address
+    /// (instant; `value` is the unchanged live occupancy).
+    WpqCoalesce,
+    /// A drained slot was retired (freed) from the WPQ (instant; `value`
+    /// is the live occupancy *after* the retire).
+    WpqRetire,
+    /// Live-entry occupancy sample, emitted after every insert/coalesce/
+    /// retire (instant; `value` is the occupancy). Feeds the occupancy
+    /// histograms that pin the usable 16/13/10 capacities.
+    WpqOccupancy,
+    /// One Mi-SU MAC computation span. `value` is 1 for the first
+    /// critical-path MAC, 2 for the second (Full design's root update),
+    /// and 0 for a deferred off-critical-path MAC (Post design).
+    MisuMac,
+    /// Ma-SU drain stage: one-cycle OTP pad decrypt of a WPQ payload on
+    /// the Dolos drain path (`value` 0).
+    MasuPadDecrypt,
+    /// Ma-SU drain stage: counter-mode re-encryption of the plaintext
+    /// line (AES pad latency; `value` 0).
+    MasuEncrypt,
+    /// Ma-SU drain stage: integrity-tree update — eager BMT root walk or
+    /// lazy Tree-of-Counters leaf update (`value` 0).
+    MasuTreeUpdate,
+    /// Ma-SU drain stage: the secure write's atomic commit point, where
+    /// ciphertext + metadata enter the redo/shadow domain (instant;
+    /// `value` 0).
+    MasuRedoCommit,
+    /// NVM device read service, queueing on the read port included.
+    /// `value` is the span length in cycles.
+    NvmRead,
+    /// NVM device write service, queueing on the write port included. The
+    /// span ends at full completion; `value` is the cycle the write was
+    /// accepted (ADR-safe) as a raw `u64`.
+    NvmWrite,
+}
+
+impl EventKind {
+    /// Every kind, in a stable report order.
+    pub const ALL: [EventKind; 14] = [
+        EventKind::PersistStart,
+        EventKind::PersistAck,
+        EventKind::FenceStall,
+        EventKind::WpqInsert,
+        EventKind::WpqCoalesce,
+        EventKind::WpqRetire,
+        EventKind::WpqOccupancy,
+        EventKind::MisuMac,
+        EventKind::MasuPadDecrypt,
+        EventKind::MasuEncrypt,
+        EventKind::MasuTreeUpdate,
+        EventKind::MasuRedoCommit,
+        EventKind::NvmRead,
+        EventKind::NvmWrite,
+    ];
+
+    /// Stable snake_case name used in JSON exports and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::PersistStart => "persist_start",
+            EventKind::PersistAck => "persist_ack",
+            EventKind::FenceStall => "fence_stall",
+            EventKind::WpqInsert => "wpq_insert",
+            EventKind::WpqCoalesce => "wpq_coalesce",
+            EventKind::WpqRetire => "wpq_retire",
+            EventKind::WpqOccupancy => "wpq_occupancy",
+            EventKind::MisuMac => "misu_mac",
+            EventKind::MasuPadDecrypt => "masu_pad_decrypt",
+            EventKind::MasuEncrypt => "masu_encrypt",
+            EventKind::MasuTreeUpdate => "masu_tree_update",
+            EventKind::MasuRedoCommit => "masu_redo_commit",
+            EventKind::NvmRead => "nvm_read",
+            EventKind::NvmWrite => "nvm_write",
+        }
+    }
+
+    /// The pipeline lane (component) the event belongs to. Used as the
+    /// per-thread track in the Chrome `trace_event` export.
+    pub fn lane(self) -> &'static str {
+        match self {
+            EventKind::PersistStart | EventKind::PersistAck | EventKind::FenceStall => "controller",
+            EventKind::WpqInsert
+            | EventKind::WpqCoalesce
+            | EventKind::WpqRetire
+            | EventKind::WpqOccupancy => "wpq",
+            EventKind::MisuMac => "misu",
+            EventKind::MasuPadDecrypt
+            | EventKind::MasuEncrypt
+            | EventKind::MasuTreeUpdate
+            | EventKind::MasuRedoCommit => "masu",
+            EventKind::NvmRead | EventKind::NvmWrite => "nvm",
+        }
+    }
+
+    /// Stable numeric id (index in [`EventKind::ALL`]); the Chrome export
+    /// uses it as the lane-internal sort key.
+    pub fn code(self) -> u8 {
+        match self {
+            EventKind::PersistStart => 0,
+            EventKind::PersistAck => 1,
+            EventKind::FenceStall => 2,
+            EventKind::WpqInsert => 3,
+            EventKind::WpqCoalesce => 4,
+            EventKind::WpqRetire => 5,
+            EventKind::WpqOccupancy => 6,
+            EventKind::MisuMac => 7,
+            EventKind::MasuPadDecrypt => 8,
+            EventKind::MasuEncrypt => 9,
+            EventKind::MasuTreeUpdate => 10,
+            EventKind::MasuRedoCommit => 11,
+            EventKind::NvmRead => 12,
+            EventKind::NvmWrite => 13,
+        }
+    }
+}
+
+/// One traced event: a `[begin, end]` span in simulated cycles (instants
+/// have `begin == end`), the line address involved (0 when not
+/// address-shaped), and a kind-specific `value` payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// What happened.
+    pub kind: EventKind,
+    /// Span start (inclusive), simulated cycles.
+    pub begin: Cycle,
+    /// Span end; equals `begin` for instant events. Never before `begin`.
+    pub end: Cycle,
+    /// Line address the event concerns, or 0.
+    pub addr: u64,
+    /// Kind-specific payload; see [`EventKind`].
+    pub value: u64,
+}
+
+impl TraceEvent {
+    /// Span length in cycles (0 for instant events).
+    pub fn span_cycles(&self) -> u64 {
+        self.end - self.begin
+    }
+}
+
+/// A consumer of trace events.
+///
+/// The two implementations cover both ends of the cost spectrum:
+/// [`NullTracer`] (drop everything, `enabled() == false`) and
+/// [`RecordingTracer`] (buffer everything in emission order).
+pub trait Tracer {
+    /// Consumes one event.
+    fn emit(&mut self, event: TraceEvent);
+    /// Whether emitting is worthwhile; components skip building events
+    /// (and any payload computation) entirely when this is `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// Discards every event. The disabled path: components holding a null sink
+/// pay one branch per hook and nothing else.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullTracer;
+
+impl Tracer for NullTracer {
+    fn emit(&mut self, _event: TraceEvent) {}
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Buffers events in emission order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecordingTracer {
+    events: Vec<TraceEvent>,
+}
+
+impl RecordingTracer {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The buffered events, in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Drains the buffer, returning the events in emission order.
+    pub fn take(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl Tracer for RecordingTracer {
+    fn emit(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+}
+
+/// The sink a component actually owns: enum dispatch over the two tracer
+/// implementations, so components stay `Clone + Debug` without boxing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum TraceSink {
+    /// Tracing disabled (the default).
+    #[default]
+    Null,
+    /// Tracing enabled; events buffer here until drained.
+    Record(RecordingTracer),
+}
+
+impl TraceSink {
+    /// Builds the sink matching a [`TraceMode`].
+    pub fn from_mode(mode: TraceMode) -> Self {
+        match mode {
+            TraceMode::Off => TraceSink::Null,
+            TraceMode::Record => TraceSink::Record(RecordingTracer::new()),
+        }
+    }
+
+    /// Whether events are being recorded. Hooks guard payload computation
+    /// on this so the disabled path stays a single branch.
+    pub fn is_enabled(&self) -> bool {
+        matches!(self, TraceSink::Record(_))
+    }
+
+    /// Emits one pre-built event.
+    pub fn emit(&mut self, event: TraceEvent) {
+        if let TraceSink::Record(r) = self {
+            r.emit(event);
+        }
+    }
+
+    /// Emits a `[begin, end]` span of `kind`.
+    pub fn span(&mut self, kind: EventKind, begin: Cycle, end: Cycle, addr: u64, value: u64) {
+        self.emit(TraceEvent {
+            kind,
+            begin,
+            end,
+            addr,
+            value,
+        });
+    }
+
+    /// Emits an instant event of `kind` at `at`.
+    pub fn instant(&mut self, kind: EventKind, at: Cycle, addr: u64, value: u64) {
+        self.span(kind, at, at, addr, value);
+    }
+
+    /// Drains buffered events (empty for a null sink), keeping the mode.
+    pub fn take(&mut self) -> Vec<TraceEvent> {
+        match self {
+            TraceSink::Null => Vec::new(),
+            TraceSink::Record(r) => r.take(),
+        }
+    }
+}
+
+/// Sorts a merged event stream into the canonical report order:
+/// `(begin, end, kind code, addr, value)`. The order is a pure function of
+/// the event *set*, so independently drained component buffers always merge
+/// to the same stream regardless of drain order or `--jobs` partitioning.
+pub fn sort_events(events: &mut [TraceEvent]) {
+    events.sort_unstable_by_key(|e| (e.begin, e.end, e.kind.code(), e.addr, e.value));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_records_nothing_and_reports_disabled() {
+        let mut sink = TraceSink::from_mode(TraceMode::Off);
+        assert!(!sink.is_enabled());
+        sink.instant(EventKind::PersistStart, Cycle::new(5), 0x40, 0);
+        assert!(sink.take().is_empty());
+    }
+
+    #[test]
+    fn recording_sink_keeps_emission_order_and_drains() {
+        let mut sink = TraceSink::from_mode(TraceMode::Record);
+        assert!(sink.is_enabled());
+        sink.span(EventKind::MisuMac, Cycle::new(10), Cycle::new(170), 0x80, 1);
+        sink.instant(EventKind::PersistAck, Cycle::new(170), 0x80, 160);
+        let events = sink.take();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, EventKind::MisuMac);
+        assert_eq!(events[0].span_cycles(), 160);
+        assert_eq!(events[1].span_cycles(), 0);
+        // Draining preserves the mode.
+        assert!(sink.is_enabled());
+        assert!(sink.take().is_empty());
+    }
+
+    #[test]
+    fn sort_is_a_pure_function_of_the_event_set() {
+        let make = |kind, b: u64, addr| TraceEvent {
+            kind,
+            begin: Cycle::new(b),
+            end: Cycle::new(b + 10),
+            addr,
+            value: 0,
+        };
+        let mut a = vec![
+            make(EventKind::NvmRead, 50, 1),
+            make(EventKind::WpqInsert, 10, 2),
+            make(EventKind::MisuMac, 10, 1),
+        ];
+        let mut b = a.clone();
+        b.reverse();
+        sort_events(&mut a);
+        sort_events(&mut b);
+        assert_eq!(a, b);
+        // Same begin/end: the kind code breaks the tie deterministically.
+        assert_eq!(a[0].kind, EventKind::WpqInsert);
+        assert_eq!(a[1].kind, EventKind::MisuMac);
+    }
+
+    #[test]
+    fn every_kind_has_distinct_code_name_and_a_lane() {
+        let mut seen_codes = std::collections::BTreeSet::new();
+        let mut seen_names = std::collections::BTreeSet::new();
+        for kind in EventKind::ALL {
+            assert!(seen_codes.insert(kind.code()), "{kind:?} code collides");
+            assert!(seen_names.insert(kind.name()), "{kind:?} name collides");
+            assert!(!kind.lane().is_empty());
+        }
+        assert_eq!(seen_codes.len(), EventKind::ALL.len());
+    }
+}

@@ -1,0 +1,163 @@
+//! CLI for the trace subsystem: traced profiling sweeps, critical-path
+//! reports, Chrome `trace_event` export.
+//!
+//! ```text
+//! dolos-trace run    [--transactions N] [--txn-bytes N] [--warmup N]
+//!                    [--seed N] [--jobs N] [--scheme NAME ...]
+//!                    [--workload NAME ...] [--out PATH]
+//! dolos-trace report [same flags as run]
+//! dolos-trace export --scheme NAME --workload NAME [--transactions N]
+//!                    [--txn-bytes N] [--warmup N] [--seed N] [--out PATH]
+//! ```
+//!
+//! `run` emits the deterministic profile JSON (byte-identical at any
+//! `--jobs` value); `report` renders the human-readable critical-path
+//! table; `export` writes one traced cell as Chrome `trace_event` JSON for
+//! `chrome://tracing` / Perfetto.
+
+use std::process::ExitCode;
+
+use dolos_core::TraceMode;
+use dolos_trace::{chrome_trace_json, parse_scheme, parse_workload, run_profile, ProfileConfig};
+use dolos_whisper::runner::{run_workload, RunConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dolos-trace run    [--transactions N] [--txn-bytes N] [--warmup N]\n\
+         \x20                      [--seed N] [--jobs N] [--scheme NAME ...]\n\
+         \x20                      [--workload NAME ...] [--out PATH]\n\
+         \x20      dolos-trace report [same flags as run]\n\
+         \x20      dolos-trace export --scheme NAME --workload NAME\n\
+         \x20                      [--transactions N] [--txn-bytes N] [--warmup N]\n\
+         \x20                      [--seed N] [--out PATH]\n\
+         \n\
+         schemes: ideal deferred pre-wpq-secure dolos-full dolos-partial dolos-post\n\
+         workloads: Hashmap Ctree Btree RBtree NStore:YCSB Redis Memcached Vacation"
+    );
+    std::process::exit(2);
+}
+
+struct Cli {
+    config: ProfileConfig,
+    out: Option<String>,
+}
+
+fn parse_cli(args: &[String]) -> Cli {
+    let mut config = ProfileConfig::default();
+    let mut schemes = Vec::new();
+    let mut workloads = Vec::new();
+    let mut out = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--transactions" => {
+                config.transactions = value().parse().unwrap_or_else(|_| usage());
+            }
+            "--txn-bytes" => config.txn_bytes = value().parse().unwrap_or_else(|_| usage()),
+            "--warmup" => config.warmup = value().parse().unwrap_or_else(|_| usage()),
+            "--seed" => config.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--jobs" => config.jobs = value().parse().unwrap_or_else(|_| usage()),
+            "--scheme" => {
+                let name = value();
+                match parse_scheme(name) {
+                    Some(kind) => schemes.push(kind),
+                    None => {
+                        eprintln!("unknown scheme {name:?}");
+                        usage();
+                    }
+                }
+            }
+            "--workload" => {
+                let name = value();
+                match parse_workload(name) {
+                    Some(kind) => workloads.push(kind),
+                    None => {
+                        eprintln!("unknown workload {name:?}");
+                        usage();
+                    }
+                }
+            }
+            "--out" => out = Some(value().clone()),
+            _ => usage(),
+        }
+    }
+    if !schemes.is_empty() {
+        config.schemes = schemes;
+    }
+    if !workloads.is_empty() {
+        config.workloads = workloads;
+    }
+    Cli { config, out }
+}
+
+fn write_output(out: Option<&str>, content: &str) -> ExitCode {
+    match out {
+        Some(path) => {
+            if let Err(err) = std::fs::write(path, content) {
+                eprintln!("dolos-trace: cannot write {path}: {err}");
+                return ExitCode::from(2);
+            }
+            println!("wrote {path}");
+            ExitCode::SUCCESS
+        }
+        None => {
+            println!("{content}");
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let cli = parse_cli(args);
+    let report = run_profile(&cli.config);
+    let mut json = report.to_json();
+    json.push('\n');
+    write_output(cli.out.as_deref(), &json)
+}
+
+fn cmd_report(args: &[String]) -> ExitCode {
+    let cli = parse_cli(args);
+    let report = run_profile(&cli.config);
+    write_output(cli.out.as_deref(), &report.render_table())
+}
+
+fn cmd_export(args: &[String]) -> ExitCode {
+    let cli = parse_cli(args);
+    let (Some(&kind), Some(&workload)) = (cli.config.schemes.first(), cli.config.workloads.first())
+    else {
+        usage();
+    };
+    if cli.config.schemes.len() != 1 || cli.config.workloads.len() != 1 {
+        eprintln!("dolos-trace: export takes exactly one --scheme and one --workload");
+        return ExitCode::from(2);
+    }
+    let run = RunConfig {
+        transactions: cli.config.transactions,
+        txn_bytes: cli.config.txn_bytes,
+        warmup: cli.config.warmup,
+        seed: cli.config.seed,
+        ..RunConfig::default()
+    };
+    let config = match dolos_core::ControllerConfig::named(kind.name()) {
+        Some(config) => config.with_trace(TraceMode::Record),
+        None => usage(),
+    };
+    let result = run_workload(workload, config, &run);
+    let mut json = chrome_trace_json(&result.trace_events);
+    json.push('\n');
+    write_output(cli.out.as_deref(), &json)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        usage();
+    };
+    match command.as_str() {
+        "run" => cmd_run(&args[1..]),
+        "report" => cmd_report(&args[1..]),
+        "export" => cmd_export(&args[1..]),
+        _ => usage(),
+    }
+}

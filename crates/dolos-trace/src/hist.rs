@@ -1,0 +1,332 @@
+//! Streaming latency histograms with deterministic, associative merge.
+//!
+//! A [`TraceHistogram`] keeps two views of the same sample stream:
+//!
+//! * **65 fixed log2 buckets** (bucket 0 holds the value 0; bucket *b* ≥ 1
+//!   holds `[2^(b-1), 2^b - 1]`, the last bucket capped at `u64::MAX`),
+//!   each with its own count/min/max — bounded memory for any stream;
+//! * an **exact value table** (`BTreeMap<value, count>`) kept while the
+//!   stream has at most [`EXACT_CAP`] distinct values, which makes
+//!   percentiles exact — the regime every simulator latency stream lives
+//!   in, because persist latencies are quantized to a handful of values
+//!   (0 / 160 / 320 / 2890 plus cache-miss combinations).
+//!
+//! Merging adds counts bucket-wise and unions the value tables; the exact
+//! table degrades to `None` only when the *union* exceeds the cap, so the
+//! result is a pure function of the combined sample multiset — independent
+//! of merge order and of how [`dolos_sim::pool`] partitioned the work.
+//! Percentiles fall back to the rank bucket's recorded max (an upper
+//! bound, exact when the bucket is degenerate) once the table is gone.
+
+use std::collections::BTreeMap;
+
+/// Number of log2 buckets: one for the value 0 plus one per bit position.
+pub const BUCKETS: usize = 65;
+
+/// Maximum distinct values tracked exactly before percentile queries fall
+/// back to bucket resolution.
+pub const EXACT_CAP: usize = 4096;
+
+/// One log2 bucket: sample count plus the exact extremes seen in-bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Bucket {
+    /// Samples recorded in this bucket.
+    pub count: u64,
+    /// Smallest sample in the bucket (0 when empty).
+    pub min: u64,
+    /// Largest sample in the bucket (0 when empty).
+    pub max: u64,
+}
+
+/// Index of the bucket holding `value`.
+fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive `[lo, hi]` range of bucket `index`.
+pub fn bucket_range(index: usize) -> (u64, u64) {
+    if index == 0 {
+        (0, 0)
+    } else if index >= 64 {
+        (1u64 << 63, u64::MAX)
+    } else {
+        (1u64 << (index - 1), (1u64 << index) - 1)
+    }
+}
+
+/// A streaming histogram of `u64` samples (cycles).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceHistogram {
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+    buckets: [Bucket; BUCKETS],
+    /// Exact value→count table while distinct values ≤ [`EXACT_CAP`].
+    exact: Option<BTreeMap<u64, u64>>,
+}
+
+impl Default for TraceHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [Bucket::default(); BUCKETS],
+            exact: Some(BTreeMap::new()),
+        }
+    }
+
+    /// Builds a histogram from an iterator of samples.
+    pub fn from_values<I: IntoIterator<Item = u64>>(values: I) -> Self {
+        let mut h = Self::new();
+        for v in values {
+            h.record(v);
+        }
+        h
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        let b = &mut self.buckets[bucket_index(value)];
+        if b.count == 0 {
+            b.min = value;
+            b.max = value;
+        } else {
+            b.min = b.min.min(value);
+            b.max = b.max.max(value);
+        }
+        b.count += 1;
+        if let Some(exact) = self.exact.as_mut() {
+            *exact.entry(value).or_insert(0) += 1;
+            if exact.len() > EXACT_CAP {
+                self.exact = None;
+            }
+        }
+    }
+
+    /// Merges another histogram into this one.
+    ///
+    /// Associative and commutative: the result depends only on the
+    /// combined sample multiset, never on partitioning or merge order
+    /// (the exact table survives iff the *union* stays within
+    /// [`EXACT_CAP`] distinct values).
+    pub fn merge(&mut self, other: &Self) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, ob) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            if ob.count == 0 {
+                continue;
+            }
+            if b.count == 0 {
+                *b = *ob;
+            } else {
+                b.count += ob.count;
+                b.min = b.min.min(ob.min);
+                b.max = b.max.max(ob.max);
+            }
+        }
+        self.exact = match (self.exact.take(), other.exact.as_ref()) {
+            (Some(mut mine), Some(theirs)) => {
+                for (&value, &count) in theirs {
+                    *mine.entry(value).or_insert(0) += count;
+                }
+                (mine.len() <= EXACT_CAP).then_some(mine)
+            }
+            _ => None,
+        };
+    }
+
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest sample, or `None` when empty. Always exact.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` when empty. Always exact.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of the samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Whether percentile queries are exact (the distinct-value table is
+    /// still within [`EXACT_CAP`]).
+    pub fn is_exact(&self) -> bool {
+        self.exact.is_some()
+    }
+
+    /// The non-empty buckets as `(lo, hi, bucket)` rows, ascending.
+    pub fn nonempty_buckets(&self) -> Vec<(u64, u64, Bucket)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.count > 0)
+            .map(|(i, b)| {
+                let (lo, hi) = bucket_range(i);
+                (lo, hi, *b)
+            })
+            .collect()
+    }
+
+    /// The sample at quantile `q` in `[0, 1]` (0 when empty).
+    ///
+    /// Uses the nearest-rank definition: the smallest sample whose
+    /// cumulative count reaches `ceil(q * count)`. Exact while
+    /// [`Self::is_exact`]; afterwards, the rank bucket's recorded max (an
+    /// upper bound, still exact when the bucket holds one distinct value).
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if let Some(exact) = self.exact.as_ref() {
+            let mut seen = 0u64;
+            for (&value, &count) in exact {
+                seen += count;
+                if seen >= rank {
+                    return value;
+                }
+            }
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for b in &self.buckets {
+            if b.count == 0 {
+                continue;
+            }
+            seen += b.count;
+            if seen >= rank {
+                return b.max;
+            }
+        }
+        self.max
+    }
+
+    /// Serializes the histogram as a deterministic JSON object.
+    ///
+    /// Fields are emitted in a fixed order and every statistic is an
+    /// integer except `mean` (fixed three-decimal formatting), so equal
+    /// histograms always serialize byte-identically.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.3},\
+             \"p50\":{},\"p95\":{},\"p99\":{},\"exact\":{},\"buckets\":[",
+            self.count,
+            self.sum,
+            self.min().unwrap_or(0),
+            self.max().unwrap_or(0),
+            self.mean(),
+            self.percentile(0.50),
+            self.percentile(0.95),
+            self.percentile(0.99),
+            self.is_exact(),
+        ));
+        for (i, (lo, hi, b)) in self.nonempty_buckets().into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"lo\":{},\"hi\":{},\"count\":{},\"min\":{},\"max\":{}}}",
+                lo, hi, b.count, b.min, b.max
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_matches_log2_ranges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_range(i);
+            assert_eq!(bucket_index(lo), i);
+            assert_eq!(bucket_index(hi), i);
+        }
+    }
+
+    #[test]
+    fn percentiles_are_exact_for_quantized_latencies() {
+        // 90 × 160 cycles, 10 × 2890 cycles — a Partial-vs-miss mixture.
+        let mut h = TraceHistogram::new();
+        for _ in 0..90 {
+            h.record(160);
+        }
+        for _ in 0..10 {
+            h.record(2890);
+        }
+        assert!(h.is_exact());
+        assert_eq!(h.percentile(0.50), 160);
+        assert_eq!(h.percentile(0.90), 160);
+        assert_eq!(h.percentile(0.95), 2890);
+        assert_eq!(h.percentile(0.99), 2890);
+        assert_eq!(h.min(), Some(160));
+        assert_eq!(h.max(), Some(2890));
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let a = TraceHistogram::from_values([0, 160, 160, 320]);
+        let b = TraceHistogram::from_values([2890, 0, 40]);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.to_json(), ba.to_json());
+        let whole = TraceHistogram::from_values([0, 160, 160, 320, 2890, 0, 40]);
+        assert_eq!(ab, whole);
+    }
+
+    #[test]
+    fn exact_table_degrades_only_past_the_cap() {
+        let mut h = TraceHistogram::from_values(0..EXACT_CAP as u64);
+        assert!(h.is_exact());
+        h.record(EXACT_CAP as u64);
+        assert!(!h.is_exact());
+        // Bucket fallback still brackets the distribution.
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(EXACT_CAP as u64));
+        assert!(h.percentile(0.5) <= h.max().unwrap_or(0));
+    }
+}

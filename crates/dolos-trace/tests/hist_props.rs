@@ -1,0 +1,136 @@
+//! Property tests for [`dolos_trace::TraceHistogram`]: the merge must be a
+//! pure function of the combined sample multiset — associative and
+//! order-independent — so that [`dolos_sim::pool`] partitions of a
+//! profiling sweep always serialize byte-identically regardless of the
+//! `--jobs` value. Plus the percentile edge cases the report layer leans
+//! on: empty, single-sample, all-equal, and top-bucket (`u64::MAX`)
+//! streams.
+
+use dolos_sim::pool;
+use dolos_sim::rng::XorShift;
+use dolos_trace::TraceHistogram;
+
+/// A latency-shaped sample stream: mostly quantized scheme floors with a
+/// heavy tail, like a real persist-latency distribution.
+fn sample_stream(seed: u64, len: usize) -> Vec<u64> {
+    let mut rng = XorShift::new(seed);
+    let floors = [0u64, 160, 320, 480, 1640, 2890];
+    (0..len)
+        .map(|_| {
+            if rng.chance(0.9) {
+                floors[rng.next_below(floors.len() as u64) as usize]
+            } else {
+                rng.next_u64() >> (rng.next_below(40) + 8)
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn merge_is_associative() {
+    let a = TraceHistogram::from_values(sample_stream(1, 500));
+    let b = TraceHistogram::from_values(sample_stream(2, 300));
+    let c = TraceHistogram::from_values(sample_stream(3, 700));
+
+    // (a ∪ b) ∪ c
+    let mut left = a.clone();
+    left.merge(&b);
+    left.merge(&c);
+    // a ∪ (b ∪ c)
+    let mut bc = b.clone();
+    bc.merge(&c);
+    let mut right = a.clone();
+    right.merge(&bc);
+
+    assert_eq!(left, right);
+    assert_eq!(left.to_json(), right.to_json());
+}
+
+#[test]
+fn merge_is_order_independent_under_pool_partitioning() {
+    let values = sample_stream(42, 2000);
+    let whole = TraceHistogram::from_values(values.iter().copied());
+
+    // Partition the stream the way the job pool partitions work items —
+    // contiguous chunks — at several widths, build per-chunk histograms in
+    // parallel, and merge them both forward and backward.
+    for chunk in [1usize, 7, 64, 501, 2000] {
+        let chunks: Vec<&[u64]> = values.chunks(chunk).collect();
+        let partials = pool::run_indexed(2, &chunks, |_, part| {
+            TraceHistogram::from_values(part.iter().copied())
+        });
+        let mut forward = TraceHistogram::new();
+        for p in &partials {
+            forward.merge(p);
+        }
+        let mut backward = TraceHistogram::new();
+        for p in partials.iter().rev() {
+            backward.merge(p);
+        }
+        assert_eq!(forward, whole, "chunk width {chunk}");
+        assert_eq!(backward, whole, "chunk width {chunk} reversed");
+        assert_eq!(forward.to_json(), whole.to_json());
+        assert_eq!(backward.to_json(), whole.to_json());
+    }
+}
+
+#[test]
+fn merging_an_empty_histogram_is_the_identity() {
+    let h = TraceHistogram::from_values(sample_stream(9, 100));
+    let mut merged = h.clone();
+    merged.merge(&TraceHistogram::new());
+    assert_eq!(merged, h);
+    let mut other_way = TraceHistogram::new();
+    other_way.merge(&h);
+    assert_eq!(other_way, h);
+}
+
+#[test]
+fn empty_histogram_percentiles_are_zero() {
+    let h = TraceHistogram::new();
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.min(), None);
+    assert_eq!(h.max(), None);
+    for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+        assert_eq!(h.percentile(q), 0);
+    }
+    assert_eq!(h.mean(), 0.0);
+}
+
+#[test]
+fn single_sample_dominates_every_percentile() {
+    let h = TraceHistogram::from_values([2890]);
+    assert_eq!(h.count(), 1);
+    assert_eq!(h.min(), Some(2890));
+    assert_eq!(h.max(), Some(2890));
+    for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+        assert_eq!(h.percentile(q), 2890);
+    }
+}
+
+#[test]
+fn all_equal_samples_are_every_percentile() {
+    let h = TraceHistogram::from_values(std::iter::repeat_n(160, 1000));
+    assert_eq!(h.count(), 1000);
+    for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+        assert_eq!(h.percentile(q), 160);
+    }
+    assert_eq!(h.mean(), 160.0);
+}
+
+#[test]
+fn top_bucket_holds_u64_max_without_overflow() {
+    let mut h = TraceHistogram::from_values([u64::MAX, u64::MAX, 1]);
+    assert_eq!(h.max(), Some(u64::MAX));
+    assert_eq!(h.percentile(0.99), u64::MAX);
+    assert_eq!(h.percentile(0.01), 1);
+    // The u128 sum survives repeated u64::MAX samples.
+    for _ in 0..100 {
+        h.record(u64::MAX);
+    }
+    assert_eq!(h.count(), 103);
+    assert!(h.mean() > 0.0);
+    // And the serialization stays well-formed.
+    let json = h.to_json();
+    assert!(json.contains(&format!("\"max\":{}", u64::MAX)));
+}

@@ -8,6 +8,7 @@
 use dolos_core::ControllerConfig;
 use dolos_sim::rng::XorShift;
 use dolos_sim::stats::StatSet;
+use dolos_sim::trace::TraceEvent;
 
 use crate::env::PmEnv;
 use crate::workloads::WorkloadKind;
@@ -80,6 +81,11 @@ pub struct RunResult {
     pub retries: u64,
     /// Full end-of-run statistics snapshot.
     pub stats: StatSet,
+    /// Trace events from the measured window, deterministically ordered.
+    /// Empty unless the controller config enables [`dolos_sim::trace`]
+    /// recording: warm-up events are drained and discarded so the stream
+    /// covers exactly the measured transactions.
+    pub trace_events: Vec<TraceEvent>,
 }
 
 impl RunResult {
@@ -134,6 +140,9 @@ pub fn run_workload(
         env.work(think);
     }
 
+    // Discard warm-up events so the trace covers the measured window only.
+    let _ = env.system_mut().take_trace_events();
+
     let cycles_before = env.now().as_u64();
     let instr_before = env.instructions();
     let persists_before = env.system().persists();
@@ -149,6 +158,7 @@ pub fn run_workload(
     let persists = env.system().persists() - persists_before;
     let retries = env.system().retries() - retries_before;
     let stats = env.system().stats();
+    let trace_events = env.system_mut().take_trace_events();
 
     RunResult {
         workload: kind.name(),
@@ -158,6 +168,7 @@ pub fn run_workload(
         persists,
         retries,
         stats,
+        trace_events,
     }
 }
 

@@ -16,7 +16,9 @@
 //!   Counters, Anubis shadow table, Osiris counter recovery;
 //! * [`core`] — the paper's contribution: Mi-SU / Ma-SU split secure memory
 //!   controller, crash + recovery machinery, attack detection;
-//! * [`whisper`] — WHISPER-style persistent workloads and the trace engine.
+//! * [`whisper`] — WHISPER-style persistent workloads and the trace engine;
+//! * [`trace`] — event-trace analysis: latency histograms, per-persist
+//!   critical-path attribution, Chrome `trace_event` export.
 //!
 //! # Quickstart
 //!
@@ -45,4 +47,5 @@ pub use dolos_crypto as crypto;
 pub use dolos_nvm as nvm;
 pub use dolos_secmem as secmem;
 pub use dolos_sim as sim;
+pub use dolos_trace as trace;
 pub use dolos_whisper as whisper;
