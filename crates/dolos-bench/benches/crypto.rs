@@ -4,7 +4,7 @@
 use dolos_bench::microbench::{bb, Bench};
 
 use dolos_crypto::aes::Aes128;
-use dolos_crypto::ctr::{generate_pad, xor_in_place, IvBuilder};
+use dolos_crypto::ctr::{generate_pad, pad_line, xor_in_place, IvBuilder};
 use dolos_crypto::mac::MacEngine;
 
 fn main() {
@@ -12,10 +12,18 @@ fn main() {
 
     let key = Aes128::new(&[7; 16]);
     let block = [0x5A; 16];
+    // `aes_fast` vs `aes_reference`: the T-table hot path against the
+    // byte-oriented specification it is lockstep-pinned to — the
+    // before/after evidence for the crypto hot-path overhaul.
     b.run("aes128_encrypt_block", || key.encrypt_block(bb(&block)));
+    b.run("aes_fast_encrypt_block", || key.encrypt_block(bb(&block)));
+    b.run("aes_reference_encrypt_block", || {
+        key.encrypt_block_reference(bb(&block))
+    });
 
     let iv = IvBuilder::new().address(0x4000).counter(17).build();
     b.run("ctr_pad_64B", || generate_pad(bb(&key), bb(&iv), 64));
+    b.run("aes_fast_pad_line_64B", || pad_line(bb(&key), bb(&iv)));
 
     let pad = generate_pad(&key, &iv, 64);
     b.run("line_xor_encrypt", || {
@@ -29,5 +37,12 @@ fn main() {
     b.run("cbc_mac_64B", || mac.tag(bb(&line)));
     b.run("cbc_mac_parts", || {
         mac.tag_parts(bb(&[&line[..32], &line[32..], &line[..8]]))
+    });
+    b.run("aes_fast_cbc_mac_streaming", || {
+        let mut s = mac.streamer(3);
+        s.part(bb(&line[..32]));
+        s.part(bb(&line[32..]));
+        s.part(bb(&line[..8]));
+        s.finish()
     });
 }

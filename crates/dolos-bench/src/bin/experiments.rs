@@ -18,6 +18,11 @@
 //! per-cell persist-latency histogram columns (p50/p95/p99/max) to the
 //! JSON. Those rows contain only simulated quantities, so they too are
 //! byte-identical at any `--jobs` value.
+//!
+//! `bench --golden PATH` also writes a wall-free snapshot (per-experiment
+//! `cells`/`sim_cycles` only) to PATH; CI `cmp`s it against the committed
+//! `ci/bench_sim_cycles.golden.json` so simulated timing cannot drift
+//! unnoticed under wall-clock optimizations.
 
 use std::process::ExitCode;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
@@ -29,7 +34,7 @@ use dolos_trace::ProfileConfig;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: experiments <all|bench|{}> [--transactions N] [--warmup N] [--seed N] \
-         [--jobs N] [--csv DIR] [--trace]",
+         [--jobs N] [--csv DIR] [--trace] [--golden PATH]",
         ExperimentId::ALL
             .iter()
             .map(|e| e.name())
@@ -44,6 +49,7 @@ fn main() -> ExitCode {
     let mut config = ExperimentConfig::default();
     let mut selected: Vec<ExperimentId> = Vec::new();
     let mut csv_dir: Option<String> = None;
+    let mut golden_path: Option<String> = None;
     let mut bench = false;
     let mut trace = false;
     let mut iter = args.iter();
@@ -70,6 +76,10 @@ fn main() -> ExitCode {
             },
             "--csv" => match iter.next() {
                 Some(dir) => csv_dir = Some(dir.clone()),
+                None => return usage(),
+            },
+            "--golden" => match iter.next() {
+                Some(path) => golden_path = Some(path.clone()),
                 None => return usage(),
             },
             name => match ExperimentId::parse(name) {
@@ -175,6 +185,16 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("wrote {path}");
+        // Wall-free sim-cycle snapshot for CI's golden cmp: any functional
+        // change that moves simulated timing shows up as a byte diff here,
+        // while wall-clock-only optimizations leave it untouched.
+        if let Some(path) = &golden_path {
+            if let Err(e) = std::fs::write(path, report.to_golden()) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {path}");
+        }
     }
     ExitCode::SUCCESS
 }

@@ -139,6 +139,39 @@ impl BenchReport {
         out.push('}');
         out
     }
+
+    /// Serializes only the simulated (machine-independent) fields: the
+    /// workload configuration and each experiment's cell count and
+    /// `sim_cycles`. Wall-clock fields, dates, trace rows and job counts
+    /// are all excluded, so two runs of the same experiments at the same
+    /// scale produce byte-identical golden text on any machine at any
+    /// `--jobs`. CI `cmp`s this against a committed golden to catch
+    /// wall-clock optimizations that accidentally perturb simulated timing.
+    pub fn to_golden(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"transactions\": {},\n", self.transactions));
+        out.push_str(&format!("  \"warmup\": {},\n", self.warmup));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str("  \"experiments\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"cells\": {}, \"sim_cycles\": {}}}{}\n",
+                e.name,
+                e.cells,
+                e.sim_cycles,
+                if i + 1 == self.entries.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ],\n");
+        let cells: u64 = self.entries.iter().map(|e| e.cells).sum();
+        let sim_cycles: u64 = self.entries.iter().map(|e| e.sim_cycles).sum();
+        out.push_str(&format!(
+            "  \"total\": {{\"cells\": {cells}, \"sim_cycles\": {sim_cycles}}}\n"
+        ));
+        out.push_str("}\n");
+        out
+    }
 }
 
 /// Converts seconds since the Unix epoch to a `YYYY-MM-DD` UTC date string.
@@ -221,6 +254,46 @@ mod tests {
         let closes = json.matches(['}', ']']).count();
         assert_eq!(opens, closes);
         assert!(!json.contains(",]") && !json.contains(",}"));
+    }
+
+    #[test]
+    fn golden_excludes_wall_clock_fields() {
+        let report = BenchReport {
+            date: "2026-08-08".into(),
+            transactions: 10,
+            warmup: 4,
+            seed: 24301,
+            jobs: 2,
+            entries: vec![
+                BenchEntry {
+                    name: "fig6".into(),
+                    wall_ms: 123.456,
+                    cells: 12,
+                    sim_cycles: 5_704_848,
+                },
+                BenchEntry {
+                    name: "table3".into(),
+                    wall_ms: 0.043,
+                    cells: 0,
+                    sim_cycles: 0,
+                },
+            ],
+            trace: vec![],
+        };
+        let golden = report.to_golden();
+        assert!(golden.contains("\"sim_cycles\": 5704848"));
+        assert!(golden.contains("\"total\": {\"cells\": 12, \"sim_cycles\": 5704848}"));
+        // Nothing machine- or time-dependent may appear.
+        assert!(!golden.contains("wall"));
+        assert!(!golden.contains("date"));
+        assert!(!golden.contains("jobs"));
+        assert!(!golden.contains("cells_per_sec"));
+        // Wall-clock changes must not move the golden bytes.
+        let mut faster = report.clone();
+        faster.entries[0].wall_ms = 1.0;
+        faster.jobs = 7;
+        faster.date = "2031-01-01".into();
+        assert_eq!(faster.to_golden(), golden);
     }
 
     #[test]

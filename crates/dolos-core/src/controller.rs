@@ -271,14 +271,14 @@ impl SecureMemorySystem {
         &self.nvm
     }
 
-    fn drain_one(&mut self, slot: usize, addr: LineAddr, payload: Line, start: Cycle) -> Cycle {
+    fn drain_one(&mut self, slot: usize, addr: LineAddr, payload: &Line, start: Cycle) -> Cycle {
         match self.config.kind {
             ControllerKind::IdealNonSecure | ControllerKind::PreWpqSecure => {
                 // Ideal writes plaintext; the baseline writes the ciphertext
                 // it secured before insertion. Either way the drain is just
                 // the data write, and the slot frees when the device accepts
                 // it (not when the cells finish programming).
-                let (accepted, _completed) = self.nvm.write_line_ticket(start, addr, &payload);
+                let (accepted, _completed) = self.nvm.write_line_ticket(start, addr, payload);
                 accepted
             }
             ControllerKind::DeferredSecure => {
@@ -286,12 +286,12 @@ impl SecureMemorySystem {
                 self.masu
                     .as_mut()
                     .expect("deferred has a Ma-SU")
-                    .process_write(start, addr, &payload, &mut self.nvm)
+                    .process_write(start, addr, payload, &mut self.nvm)
             }
             ControllerKind::Dolos(_) => {
                 // ① decrypt with the slot pad (one XOR), ②③ full pipeline.
                 let misu = self.misu.as_mut().expect("dolos has a Mi-SU");
-                let plaintext = misu.decrypt(slot, &payload);
+                let plaintext = misu.decrypt(slot, payload);
                 if self.trace.is_enabled() {
                     self.trace.span(
                         EventKind::MasuPadDecrypt,
@@ -341,7 +341,7 @@ impl SecureMemorySystem {
                     .ready_times
                     .pop_front()
                     .expect("ready_times tracks queued entries");
-                let done = self.drain_one(entry.slot, entry.addr, entry.payload, ready);
+                let done = self.drain_one(entry.slot, entry.addr, &entry.payload, ready);
                 // Clamp monotone so ring clearing stays in order even when a
                 // counter-cache miss inflates one entry's completion.
                 self.last_drain_done = self.last_drain_done.max(done);

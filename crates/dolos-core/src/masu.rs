@@ -22,7 +22,7 @@
 use std::collections::BTreeMap;
 
 use dolos_crypto::aes::Aes128;
-use dolos_crypto::ctr::{generate_pad, xor_in_place, IvBuilder};
+use dolos_crypto::ctr::{pad_line, xor_in_place, IvBuilder};
 use dolos_crypto::latency::CryptoLatency;
 use dolos_crypto::mac::MacEngine;
 use dolos_nvm::addr::LineAddr;
@@ -194,12 +194,12 @@ impl MajorSecurityUnit {
         dolos_crypto::latency::AES_LATENCY
     }
 
-    fn pad_for(&self, addr: LineAddr, packed_counter: u64) -> Vec<u8> {
+    fn pad_for(&self, addr: LineAddr, packed_counter: u64) -> [u8; 64] {
         let iv = IvBuilder::new()
             .address(addr.as_u64())
             .counter(packed_counter)
             .build();
-        generate_pad(&self.aes, &iv, 64)
+        pad_line(&self.aes, &iv)
     }
 
     /// Fetches the counter block for `page`, modelling the counter cache and
@@ -210,26 +210,20 @@ impl MajorSecurityUnit {
         page: u64,
         nvm: &mut NvmDevice,
     ) -> (CounterBlock, u64) {
-        match self.counter_cache.probe(page) {
-            Access::Hit => {
-                // audit:allow(panic-path) -- probe() just returned Hit, so the entry is present; absence is a simulator bug, not a recoverable device state
-                let line = *self.counter_cache.get(page).expect("hit implies present");
-                (CounterBlock::from_line(&line), 0)
-            }
-            Access::Miss => {
-                let (done, line) = nvm.read_line(now, self.layout.counter_block_addr(page));
-                let penalty = done - now;
-                if let Some(ev) = self.counter_cache.fill(page, line, false) {
-                    if ev.dirty {
-                        nvm.write_line(now, self.layout.counter_block_addr(ev.key), &ev.data);
-                        self.pending_counter_updates.remove(ev.key);
-                    }
-                    self.shadow.remove(ev.key);
-                }
-                self.shadow.record(page);
-                (CounterBlock::from_line(&line), penalty)
-            }
+        if let Some(line) = self.counter_cache.probe_get(page) {
+            return (CounterBlock::from_line(line), 0);
         }
+        let (done, line) = nvm.read_line(now, self.layout.counter_block_addr(page));
+        let penalty = done - now;
+        if let Some(ev) = self.counter_cache.fill(page, line, false) {
+            if ev.dirty {
+                nvm.write_line(now, self.layout.counter_block_addr(ev.key), &ev.data);
+                self.pending_counter_updates.remove(ev.key);
+            }
+            self.shadow.remove(ev.key);
+        }
+        self.shadow.record(page);
+        (CounterBlock::from_line(&line), penalty)
     }
 
     fn store_counter_block(

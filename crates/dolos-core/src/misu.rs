@@ -21,7 +21,7 @@
 //! entries; see [`MiSuKind`].
 
 use dolos_crypto::aes::Aes128;
-use dolos_crypto::ctr::{generate_pad, xor_in_place, IvBuilder};
+use dolos_crypto::ctr::{pad_into, xor_in_place, IvBuilder};
 use dolos_crypto::mac::{Mac64, MacEngine};
 use dolos_nvm::addr::LineAddr;
 use dolos_nvm::wpq::WpqEntry;
@@ -210,24 +210,28 @@ impl MinorSecurityUnit {
     }
 
     fn regenerate_pads(&mut self) {
-        self.pads = (0..self.usable_entries)
-            .map(|slot| {
-                let iv = IvBuilder::new()
-                    .page_id(slot as u64) // slot index stands in for the address
-                    .counter(self.slot_counter(slot))
-                    .build();
-                let pad = generate_pad(&self.aes, &iv, 64);
-                let mut line = [0u8; 64];
-                line.copy_from_slice(&pad);
-                line
-            })
-            .collect();
+        // Regenerated at every epoch advance (boot, post-drain, recovery
+        // finish): reuse the slot buffers in place rather than rebuilding
+        // the Vec, so steady-state epoch turnover allocates nothing.
+        self.pads.resize(self.usable_entries, [0u8; 64]);
+        for slot in 0..self.usable_entries {
+            let iv = IvBuilder::new()
+                .page_id(slot as u64) // slot index stands in for the address
+                .counter(self.slot_counter(slot))
+                .build();
+            pad_into(&self.aes, &iv, &mut self.pads[slot]);
+        }
     }
 
     fn recompute_full_tree(&mut self) {
+        // Runs on every Full-design protect/clear; stream the leaf MACs
+        // instead of collecting a slice-of-slices per call.
         if self.kind == MiSuKind::Full {
-            let parts: Vec<&[u8]> = self.leaf_macs.iter().map(|m| &m[..]).collect();
-            self.root = self.mac.tag_parts(&parts);
+            let mut mac = self.mac.streamer(self.leaf_macs.len());
+            for leaf in &self.leaf_macs {
+                mac.part(leaf);
+            }
+            self.root = mac.finish();
         }
     }
 
@@ -241,15 +245,26 @@ impl MinorSecurityUnit {
         mac_table: &[[u8; 8]],
         order_table: &[u64],
     ) -> Mac64 {
-        let addr_bytes: Vec<u8> = addr_table.iter().flat_map(|v| v.to_le_bytes()).collect();
-        let mac_bytes: Vec<u8> = mac_table.iter().flatten().copied().collect();
-        let order_bytes: Vec<u8> = order_table.iter().flat_map(|v| v.to_le_bytes()).collect();
-        self.mac.tag_parts(&[
-            &self.persistent_counter.to_le_bytes(),
-            &addr_bytes,
-            &mac_bytes,
-            &order_bytes,
-        ])
+        // Each table streams as one logical part (same tag as MACing the
+        // concatenated bytes) without materializing concatenation buffers.
+        let mut mac = self.mac.streamer(4);
+        mac.part(&self.persistent_counter.to_le_bytes());
+        mac.begin_part(addr_table.len() as u64 * 8);
+        for v in addr_table {
+            mac.update(&v.to_le_bytes());
+        }
+        mac.end_part();
+        mac.begin_part(mac_table.len() as u64 * 8);
+        for m in mac_table {
+            mac.update(m);
+        }
+        mac.end_part();
+        mac.begin_part(order_table.len() as u64 * 8);
+        for v in order_table {
+            mac.update(&v.to_le_bytes());
+        }
+        mac.end_part();
+        mac.finish()
     }
 
     fn entry_mac(&self, slot: usize, addr: LineAddr, ciphertext: &Line) -> Mac64 {
@@ -531,8 +546,11 @@ impl MinorSecurityUnit {
             recovered.push((addr, self.decrypt(slot, &ciphertext)));
         }
         if self.kind == MiSuKind::Full {
-            let parts: Vec<&[u8]> = leaf_macs.iter().map(|m| &m[..]).collect();
-            if self.mac.tag_parts(&parts) != self.root {
+            let mut mac = self.mac.streamer(leaf_macs.len());
+            for leaf in &leaf_macs {
+                mac.part(leaf);
+            }
+            if mac.finish() != self.root {
                 return Err(SecurityError::WpqRootMismatch);
             }
         }

@@ -8,7 +8,7 @@
 //! property both the Ma-SU decryption-latency hiding and the Mi-SU
 //! boot-time pre-generation rely on.
 
-use crate::aes::{Aes128, Block, BLOCK_SIZE};
+use crate::aes::{bytes_from_words, words_from_bytes, Aes128, Block, BLOCK_SIZE};
 
 /// Bytes per 4 KiB page (64 cachelines of 64 B).
 const PAGE_SIZE: u64 = 4096;
@@ -80,6 +80,15 @@ impl Iv {
         block[8..16].copy_from_slice(&self.counter.to_le_bytes());
         block
     }
+
+    /// [`Self::to_block`] with block index 0, pre-packed into the cipher's
+    /// word representation. The block-index byte is the low byte of word 1
+    /// and is zero here, so pad loops derive block `i`'s IV words as
+    /// `[w0, w1 ^ i, w2, w3]` (i ≤ 255) without rebuilding and repacking the
+    /// byte block per AES call.
+    fn to_base_words(self) -> [u32; 4] {
+        words_from_bytes(&self.to_block(0))
+    }
 }
 
 /// Builder for [`Iv`] values.
@@ -134,10 +143,110 @@ impl IvBuilder {
     }
 }
 
+/// Bytes per cacheline, the unit every hot-path pad covers.
+pub const LINE_SIZE: usize = 64;
+
+/// The largest pad a single IV can produce: the block-index field of the IV
+/// is one byte, so indices 0..=255 are the only distinct per-block IVs.
+/// Asking for more would wrap the index and *reuse pad material* — a
+/// one-time-pad violation, the same bug class as counter truncation.
+pub const MAX_PAD_BYTES: usize = 256 * BLOCK_SIZE;
+
+/// Generates a 64-byte cacheline pad for the given IV without allocating.
+///
+/// This is the hot path: every simulated line encryption, decryption and
+/// recovery probe funnels through here, so the pad is built directly in a
+/// stack array (4 AES blocks) instead of a `Vec`. Byte-identical to
+/// `generate_pad(key, iv, 64)`.
+///
+/// # Examples
+///
+/// ```
+/// use dolos_crypto::{aes::Aes128, ctr::{generate_pad, pad_line, IvBuilder}};
+///
+/// let key = Aes128::new(&[1u8; 16]);
+/// let iv = IvBuilder::new().address(0x1040).counter(7).build();
+/// assert_eq!(pad_line(&key, &iv).to_vec(), generate_pad(&key, &iv, 64));
+/// ```
+pub fn pad_line(key: &Aes128, iv: &Iv) -> [u8; LINE_SIZE] {
+    let b = iv.to_base_words();
+    // The four blocks are independent (distinct block indices), so one
+    // interleaved cipher pass keeps the core's load ports busy instead of
+    // serializing four latency-bound chains.
+    let blocks = key.encrypt_words4([
+        b,
+        [b[0], b[1] ^ 1, b[2], b[3]],
+        [b[0], b[1] ^ 2, b[2], b[3]],
+        [b[0], b[1] ^ 3, b[2], b[3]],
+    ]);
+    let mut pad = [0u8; LINE_SIZE];
+    for (chunk, block) in pad.chunks_exact_mut(BLOCK_SIZE).zip(blocks.iter()) {
+        chunk.copy_from_slice(&bytes_from_words(block));
+    }
+    pad
+}
+
+/// Fills `pad` with encryption pad bytes for the given IV.
+///
+/// The caller supplies the buffer, so steady-state users (e.g. the Mi-SU's
+/// pre-generated pad slots) can regenerate in place with zero allocation.
+/// The final partial block, if any, is produced into a stack scratch block
+/// and copied, so `pad` may be any length up to [`MAX_PAD_BYTES`].
+///
+/// # Panics
+///
+/// Panics if `pad.len()` exceeds [`MAX_PAD_BYTES`]: the IV's block-index
+/// field is a single byte, and silently wrapping it would reuse pad
+/// material across 4 KiB boundaries. The check is kept in release builds
+/// too (same convention as [`xor_in_place`]): pad reuse is a silent
+/// security failure, not a recoverable condition.
+pub fn pad_into(key: &Aes128, iv: &Iv, pad: &mut [u8]) {
+    assert!(
+        pad.len() <= MAX_PAD_BYTES,
+        "pad length {} exceeds the {} bytes one IV can generate (block index is u8)",
+        pad.len(),
+        MAX_PAD_BYTES
+    );
+    let b = iv.to_base_words();
+    let mut i = 0u32;
+    // Four independent blocks per interleaved cipher pass (see `pad_line`),
+    // then single passes for the stragglers.
+    let mut quads = pad.chunks_exact_mut(4 * BLOCK_SIZE);
+    for quad in &mut quads {
+        let blocks = key.encrypt_words4([
+            [b[0], b[1] ^ i, b[2], b[3]],
+            [b[0], b[1] ^ (i + 1), b[2], b[3]],
+            [b[0], b[1] ^ (i + 2), b[2], b[3]],
+            [b[0], b[1] ^ (i + 3), b[2], b[3]],
+        ]);
+        for (chunk, block) in quad.chunks_exact_mut(BLOCK_SIZE).zip(blocks.iter()) {
+            chunk.copy_from_slice(&bytes_from_words(block));
+        }
+        i += 4;
+    }
+    let mut chunks = quads.into_remainder().chunks_exact_mut(BLOCK_SIZE);
+    for chunk in &mut chunks {
+        let block = key.encrypt_words([b[0], b[1] ^ i, b[2], b[3]]);
+        chunk.copy_from_slice(&bytes_from_words(&block));
+        i += 1;
+    }
+    let tail = chunks.into_remainder();
+    if !tail.is_empty() {
+        let block = bytes_from_words(&key.encrypt_words([b[0], b[1] ^ i, b[2], b[3]]));
+        tail.copy_from_slice(&block[..tail.len()]);
+    }
+}
+
 /// Generates a `len`-byte encryption pad for the given IV.
 ///
 /// `len` is rounded up internally to a multiple of the AES block size but the
-/// returned pad is exactly `len` bytes.
+/// returned pad is exactly `len` bytes. Prefer [`pad_line`] (stack array) or
+/// [`pad_into`] (caller-owned buffer) on hot paths; this convenience wrapper
+/// allocates.
+///
+/// # Panics
+///
+/// Panics if `len` exceeds [`MAX_PAD_BYTES`]; see [`pad_into`].
 ///
 /// # Examples
 ///
@@ -151,12 +260,8 @@ impl IvBuilder {
 /// assert_ne!(pad, other); // counter bump changes the whole pad
 /// ```
 pub fn generate_pad(key: &Aes128, iv: &Iv, len: usize) -> Vec<u8> {
-    let blocks = len.div_ceil(BLOCK_SIZE);
-    let mut pad = Vec::with_capacity(blocks * BLOCK_SIZE);
-    for i in 0..blocks {
-        pad.extend_from_slice(&key.encrypt_block(&iv.to_block(i as u8)));
-    }
-    pad.truncate(len);
+    let mut pad = vec![0u8; len];
+    pad_into(key, iv, &mut pad);
     pad
 }
 
@@ -242,5 +347,45 @@ mod tests {
     fn xor_length_mismatch_panics() {
         let mut d = [0u8; 4];
         xor_in_place(&mut d, &[0u8; 5]);
+    }
+
+    #[test]
+    fn pad_line_matches_generate_pad() {
+        let iv = IvBuilder::new()
+            .address(3 * 4096 + 7 * 64)
+            .counter(42)
+            .build();
+        assert_eq!(
+            pad_line(&key(), &iv).to_vec(),
+            generate_pad(&key(), &iv, 64)
+        );
+    }
+
+    #[test]
+    fn pad_into_matches_generate_pad_including_partial_tail() {
+        let iv = IvBuilder::new().address(4096).counter(11).build();
+        for len in [0, 1, 15, 16, 17, 63, 64, 72, 4096] {
+            let mut buf = vec![0xEE; len];
+            pad_into(&key(), &iv, &mut buf);
+            assert_eq!(buf, generate_pad(&key(), &iv, len), "len {len}");
+        }
+    }
+
+    #[test]
+    fn max_pad_is_exactly_one_page() {
+        // 256 blocks of 16 bytes = one 4 KiB page; the last block uses
+        // index 255 and no wraparound occurs.
+        let iv = IvBuilder::new().counter(1).build();
+        let pad = generate_pad(&key(), &iv, MAX_PAD_BYTES);
+        assert_eq!(pad.len(), MAX_PAD_BYTES);
+        // The final block differs from the first: distinct block indices.
+        assert_ne!(pad[..16], pad[MAX_PAD_BYTES - 16..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn pad_beyond_block_index_range_panics() {
+        let iv = IvBuilder::new().counter(1).build();
+        let _ = generate_pad(&key(), &iv, MAX_PAD_BYTES + 1);
     }
 }

@@ -5,13 +5,21 @@
 //! so the rest of the workspace can verify real ciphertext, real MACs, and
 //! real Merkle-tree roots across crashes and attacks:
 //!
-//! * [`aes`] — AES-128 block encryption (FIPS-197, encrypt-only);
+//! * [`aes`] — AES-128 block encryption (FIPS-197, encrypt-only): a
+//!   T-table fast path ([`Aes128::encrypt_block`]) plus the retained
+//!   byte-oriented reference it is lockstep-tested against;
 //! * [`ctr`] — counter-mode pad generation with the paper's IV layout
-//!   (page ID ‖ page offset ‖ counter ‖ padding, Figure 2);
+//!   (page ID ‖ page offset ‖ counter ‖ padding, Figure 2); hot paths use
+//!   the allocation-free [`ctr::pad_line`] / [`ctr::pad_into`];
 //! * [`mac`] — AES-CBC-MAC with 64-bit truncated tags (8-byte MACs, as the
-//!   paper assumes for WPQ entries and BMT nodes);
+//!   paper assumes for WPQ entries and BMT nodes), with a streaming
+//!   [`mac::CbcMac`] for part lists that are never materialized contiguously;
 //! * [`latency`] — the cycle costs from Table 1, kept separate from the
 //!   functional code so timing-model changes never touch the data path.
+//!
+//! Simulated timing comes exclusively from [`latency`]; nothing in the
+//! functional modules feeds the cycle model, so making this crate faster in
+//! wall-clock terms can never move a simulated cycle.
 //!
 //! # Examples
 //!
@@ -38,5 +46,5 @@ pub mod latency;
 pub mod mac;
 
 pub use aes::Aes128;
-pub use ctr::{generate_pad, Iv, IvBuilder};
-pub use mac::{Mac64, MacEngine};
+pub use ctr::{generate_pad, pad_into, pad_line, Iv, IvBuilder};
+pub use mac::{CbcMac, Mac64, MacEngine};

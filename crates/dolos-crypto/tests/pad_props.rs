@@ -10,7 +10,7 @@
 use std::collections::BTreeSet;
 
 use dolos_crypto::aes::Aes128;
-use dolos_crypto::ctr::{generate_pad, IvBuilder};
+use dolos_crypto::ctr::{generate_pad, pad_into, IvBuilder, MAX_PAD_BYTES};
 use dolos_sim::rng::XorShift;
 
 const LINE: usize = 64;
@@ -133,4 +133,44 @@ fn blocks_within_a_line_use_distinct_pad_material() {
     let pad = generate_pad(&key, &iv, LINE);
     let blocks: BTreeSet<&[u8]> = pad.chunks(16).collect();
     assert_eq!(blocks.len(), 4, "16-byte blocks within a line must differ");
+}
+
+#[test]
+fn block_index_wraparound_is_rejected_not_wrapped() {
+    // The block-index field of the IV is one byte, so a single IV can
+    // yield at most 256 distinct AES blocks (4 KiB). The historical bug:
+    // `generate_pad` cast the block counter with `as u8`, so a 4 KiB + 16 B
+    // request silently computed block 256 with index 0 — byte-for-byte
+    // pad reuse, the same one-time-pad violation class as the 56-bit
+    // counter truncation pinned above. Over-range requests must panic.
+    let key = key();
+    let iv = IvBuilder::new().address(0).counter(3).build();
+
+    // In range: exactly 256 blocks, all distinct.
+    let max = generate_pad(&key, &iv, MAX_PAD_BYTES);
+    let blocks: BTreeSet<&[u8]> = max.chunks(16).collect();
+    assert_eq!(blocks.len(), 256, "block indices wrapped within one page");
+
+    // Out of range: reject loudly instead of reusing block 0's pad.
+    let outcome = std::panic::catch_unwind(|| {
+        let key = Aes128::new(&[0x3C; 16]);
+        let iv = IvBuilder::new().address(0).counter(3).build();
+        generate_pad(&key, &iv, MAX_PAD_BYTES + 16)
+    });
+    assert!(
+        outcome.is_err(),
+        "generate_pad accepted a length beyond the block-index range"
+    );
+
+    // pad_into enforces the same bound on caller-owned buffers.
+    let outcome = std::panic::catch_unwind(|| {
+        let key = Aes128::new(&[0x3C; 16]);
+        let iv = IvBuilder::new().address(0).counter(3).build();
+        let mut buf = vec![0u8; MAX_PAD_BYTES + 1];
+        pad_into(&key, &iv, &mut buf);
+    });
+    assert!(
+        outcome.is_err(),
+        "pad_into accepted a length beyond the block-index range"
+    );
 }

@@ -122,8 +122,13 @@ impl BonsaiMerkleTree {
     }
 
     fn parent_mac(&self, engine: &MacEngine, level: usize, parent_index: u64) -> Mac64 {
-        let children: [Mac64; ARITY as usize] =
-            core::array::from_fn(|c| self.node(level - 1, parent_index * ARITY + c as u64));
+        // The eight children occupy consecutive indices, so one range walk
+        // over the sorted child level replaces eight binary-search probes.
+        let first = parent_index * ARITY;
+        let mut children = [self.defaults[level - 1]; ARITY as usize];
+        for (k, mac) in self.nodes[level - 1].range(first, first + ARITY) {
+            children[(k - first) as usize] = *mac;
+        }
         let parts: [&[u8]; ARITY as usize] = core::array::from_fn(|c| &children[c][..]);
         engine.tag_parts(&parts)
     }

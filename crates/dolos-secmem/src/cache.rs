@@ -115,6 +115,23 @@ impl SetAssocCache {
         }
     }
 
+    /// [`Self::probe`] and [`Self::get`] fused: one way scan instead of
+    /// two, with exactly `probe`'s statistics/LRU accounting (one tick,
+    /// one hit or miss). Returns the cached payload on a hit.
+    pub fn probe_get(&mut self, key: u64) -> Option<&Line> {
+        self.tick += 1;
+        let set = self.set_of(key);
+        let tick = self.tick;
+        if let Some(way) = self.sets[set].iter_mut().find(|w| w.key == key) {
+            way.last_use = tick;
+            self.hits += 1;
+            Some(&way.data)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
     /// Whether `key` is present, without touching statistics or LRU.
     pub fn contains(&self, key: u64) -> bool {
         self.sets[self.set_of(key)].iter().any(|w| w.key == key)
@@ -275,6 +292,29 @@ mod tests {
         assert_eq!(c.probe(1), Access::Hit);
         assert_eq!(c.hits(), 1);
         assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn probe_get_accounts_exactly_like_probe() {
+        // Two caches driven identically — one via probe+get, one via
+        // probe_get — must agree on payloads, statistics, and LRU-driven
+        // eviction order.
+        let mut a = SetAssocCache::new(1, 2);
+        let mut b = SetAssocCache::new(1, 2);
+        for c in [&mut a, &mut b] {
+            c.fill(1, [1; 64], false);
+            c.fill(2, [2; 64], false);
+        }
+        assert_eq!(a.probe(1), Access::Hit);
+        let got = a.get(1).copied();
+        assert_eq!(b.probe_get(1).copied(), got);
+        assert_eq!(b.probe_get(9), None); // miss accounting
+        a.probe(9);
+        assert_eq!((a.hits(), a.misses()), (b.hits(), b.misses()));
+        // Key 2 is now LRU in both; the next fill evicts it from both.
+        let (ea, eb) = (a.fill(3, [3; 64], false), b.fill(3, [3; 64], false));
+        assert_eq!(ea.map(|e| e.key), Some(2));
+        assert_eq!(eb.map(|e| e.key), Some(2));
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! satisfies trivially.
 
 use dolos_crypto::aes::Aes128;
-use dolos_crypto::ctr::{generate_pad, IvBuilder};
+use dolos_crypto::ctr::{pad_line, IvBuilder};
 use dolos_nvm::Line;
 
 /// Default Osiris stop-loss: counters persist every 4th update.
@@ -76,7 +76,7 @@ pub fn probe_counter(
 ) -> Option<(u64, Line)> {
     for candidate in base..base.saturating_add(window).saturating_add(1) {
         let iv = IvBuilder::new().address(addr).counter(candidate).build();
-        let pad = generate_pad(key, &iv, 64);
+        let pad = pad_line(key, &iv);
         let mut plaintext = *ciphertext;
         dolos_crypto::ctr::xor_in_place(&mut plaintext, &pad);
         if ecc64(&plaintext) == ecc {
@@ -89,7 +89,7 @@ pub fn probe_counter(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dolos_crypto::ctr::xor_in_place;
+    use dolos_crypto::ctr::{generate_pad, xor_in_place};
 
     fn encrypt(key: &Aes128, addr: u64, counter: u64, plaintext: &Line) -> Line {
         let iv = IvBuilder::new().address(addr).counter(counter).build();

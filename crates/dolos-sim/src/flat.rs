@@ -111,6 +111,18 @@ impl<V> FlatMap<V> {
         self.entries.iter().map(|(k, v)| (*k, v))
     }
 
+    /// Iterates entries whose keys fall in `start..end`, in ascending key
+    /// order: one binary search for the lower bound, then a sequential
+    /// walk. Callers reading a run of consecutive keys (e.g. the BMT's
+    /// 8-child node groups) use this instead of probing per key.
+    pub fn range(&self, start: u64, end: u64) -> impl Iterator<Item = (u64, &V)> {
+        let lo = self.entries.partition_point(|&(k, _)| k < start);
+        self.entries[lo..]
+            .iter()
+            .take_while(move |&&(k, _)| k < end)
+            .map(|(k, v)| (*k, v))
+    }
+
     /// Removes every entry.
     pub fn clear(&mut self) {
         self.entries.clear();
@@ -224,6 +236,28 @@ mod tests {
         }
         let keys: Vec<u64> = m.iter().map(|(k, _)| k).collect();
         assert_eq!(keys, vec![1, 2, 3, 7, 8, 9]);
+    }
+
+    #[test]
+    fn range_walks_exactly_the_requested_keys() {
+        let mut m: FlatMap<u32> = FlatMap::new();
+        for k in [0u64, 3, 7, 8, 9, 15, 16, 40] {
+            m.insert(k, k as u32);
+        }
+        let collect = |lo: u64, hi: u64| m.range(lo, hi).map(|(k, _)| k).collect::<Vec<_>>();
+        assert_eq!(collect(8, 16), vec![8, 9, 15]); // half-open
+        assert_eq!(collect(0, 4), vec![0, 3]);
+        assert_eq!(collect(10, 15), vec![]); // gap
+        assert_eq!(collect(41, u64::MAX), vec![]); // past the end
+
+        // Agreement with per-key probes over every 8-aligned group.
+        for first in (0..48).step_by(8) {
+            let via_range: Vec<_> = m.range(first, first + 8).map(|(k, v)| (k, *v)).collect();
+            let via_get: Vec<_> = (first..first + 8)
+                .filter_map(|k| m.get(k).map(|v| (k, *v)))
+                .collect();
+            assert_eq!(via_range, via_get, "group at {first}");
+        }
     }
 
     #[test]
