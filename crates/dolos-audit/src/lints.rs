@@ -1,8 +1,9 @@
-//! The lint registry: token-pattern rules plus the suppression mechanism.
+//! Per-file lints plus the suppression mechanism shared by every lint.
 //!
-//! Each lint walks the token stream of one file (test regions excluded) and
-//! emits [`Finding`]s. A finding can be silenced with a line comment on the
-//! same line or the line above:
+//! Each local lint walks the token stream of one file (test regions
+//! excluded) and emits [`Finding`]s; the interprocedural lints in
+//! [`crate::interproc`] add workspace-level findings later. Any finding can
+//! be silenced with a line comment on the same line or the line above:
 //!
 //! ```text
 //! // audit:allow(<lint>) -- <reason>
@@ -12,10 +13,7 @@
 //! itself a finding — and every suppression must match a real finding, so
 //! stale allows fail the audit instead of rotting in place.
 
-use crate::config::{
-    Config, KNOWN_LINTS, LINT_NONDETERMINISM, LINT_PANIC_PATH, LINT_PERSISTENCE_DOMAIN,
-    LINT_SUPPRESSION, LINT_WALL_CLOCK,
-};
+use crate::config::{Config, KNOWN_LINTS, LINT_NONDETERMINISM, LINT_PANIC_PATH, LINT_WALL_CLOCK};
 use crate::lexer::{in_regions, lex, test_regions, Comment, Token, TokenKind};
 use crate::report::Finding;
 
@@ -45,46 +43,51 @@ const AMBIENT_HOST_STATE: [&str; 5] = [
 /// Macros that abort instead of returning an error.
 const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
 
-/// `NvmDevice` methods that write lines without passing through the WPQ.
-const DEVICE_WRITE_METHODS: [&str; 5] = [
-    "poke",
-    "write_line",
-    "write_line_ticket",
-    "restore_lines",
-    "replay_snapshot",
-];
-
-/// Result of auditing one file.
-#[derive(Debug, Default)]
-pub struct FileAudit {
-    /// Findings that survived suppression, plus suppression-hygiene findings.
-    pub findings: Vec<Finding>,
-    /// Unsuppressed panic sites outside strict files (ratchet budget input).
-    pub panic_sites: usize,
-}
-
+/// One `audit:allow` suppression extracted from a file.
 #[derive(Debug)]
-struct Suppression {
-    lint: String,
-    line: u32,
-    used: bool,
+pub(crate) struct Suppression {
+    /// The lint being allowed.
+    pub lint: String,
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// The mandatory justification after `--`.
+    pub reason: String,
+    /// Whether a finding consumed it (unused suppressions are findings).
+    pub used: bool,
 }
 
-/// Runs every applicable lint over one file.
-pub fn audit_file(file: &SourceFile, config: &Config) -> FileAudit {
+/// Phase-A output for one file: raw (pre-suppression) local findings plus
+/// everything the later phases need.
+#[derive(Debug)]
+pub(crate) struct FileAnalysis {
+    /// Suppression-hygiene findings (malformed/unknown/reason-less allows)
+    /// that bypass suppression entirely.
+    pub pre_findings: Vec<Finding>,
+    /// Local lint findings before suppression.
+    pub raw: Vec<Finding>,
+    /// `(line, what)` for unsuppressed-candidate panic sites.
+    pub panic_lines: Vec<(u32, String)>,
+    /// Whether the file is in the strict panic set (sites become findings).
+    pub strict: bool,
+    /// Valid suppressions, to be threaded through every finding phase.
+    pub suppressions: Vec<Suppression>,
+}
+
+/// Runs phase A on one file: lex, strip test regions, parse suppressions,
+/// run the local lints. Returns the analysis plus the filtered token
+/// stream (for the call-graph phase).
+pub(crate) fn analyze_file(file: &SourceFile, config: &Config) -> (FileAnalysis, Vec<Token>) {
     let lexed = lex(&file.text);
     let regions = test_regions(&lexed.tokens);
-    let mut out = FileAudit::default();
-    let mut suppressions =
-        parse_suppressions(&lexed.comments, &regions, &file.path, &mut out.findings);
-
-    let mut raw: Vec<Finding> = Vec::new();
-    let tokens: Vec<&Token> = lexed
+    let mut pre_findings = Vec::new();
+    let suppressions = parse_suppressions(&lexed.comments, &regions, &file.path, &mut pre_findings);
+    let tokens: Vec<Token> = lexed
         .tokens
-        .iter()
+        .into_iter()
         .filter(|t| !in_regions(&regions, t.line))
         .collect();
 
+    let mut raw: Vec<Finding> = Vec::new();
     if config.deterministic_crates.contains(&file.krate) {
         lint_nondeterminism(&tokens, &file.path, &mut raw);
     }
@@ -106,41 +109,16 @@ pub fn audit_file(file: &SourceFile, config: &Config) -> FileAudit {
             });
         }
     }
-    if !Config::path_matches(&file.path, &config.sanctioned_persistence_files) {
-        lint_persistence_domain(&tokens, &file.path, &mut raw);
-    }
-
-    // Apply suppressions to the raw findings.
-    for finding in raw {
-        if !try_suppress(&mut suppressions, &finding.lint, finding.line) {
-            out.findings.push(finding);
-        }
-    }
-    // Panic sites outside strict files are counted, not reported: the
-    // ratchet compares the workspace total against the budget. A site can
-    // still be excluded from the count with an explicit allow.
-    if !strict {
-        out.panic_sites = panic_lines
-            .iter()
-            .filter(|(line, _)| !try_suppress(&mut suppressions, LINT_PANIC_PATH, *line))
-            .count();
-    }
-
-    for s in &suppressions {
-        if !s.used {
-            out.findings.push(Finding {
-                file: file.path.clone(),
-                line: s.line,
-                lint: LINT_SUPPRESSION.into(),
-                message: format!(
-                    "audit:allow({}) matched no finding on this or the next \
-                     line; delete the stale suppression",
-                    s.lint
-                ),
-            });
-        }
-    }
-    out
+    (
+        FileAnalysis {
+            pre_findings,
+            raw,
+            panic_lines,
+            strict,
+            suppressions,
+        },
+        tokens,
+    )
 }
 
 /// Extracts `audit:allow` suppressions, reporting malformed ones. Comments
@@ -165,7 +143,7 @@ fn parse_suppressions(
             findings.push(Finding {
                 file: path.to_string(),
                 line: c.line,
-                lint: LINT_SUPPRESSION.into(),
+                lint: crate::config::LINT_SUPPRESSION.into(),
                 message,
             });
         };
@@ -195,6 +173,7 @@ fn parse_suppressions(
         out.push(Suppression {
             lint: lint.to_string(),
             line: c.line,
+            reason: reason.to_string(),
             used: false,
         });
     }
@@ -203,7 +182,7 @@ fn parse_suppressions(
 
 /// Marks the first matching suppression used; returns whether one matched.
 /// A suppression covers its own line (trailing comment) and the next line.
-fn try_suppress(suppressions: &mut [Suppression], lint: &str, line: u32) -> bool {
+pub(crate) fn try_suppress(suppressions: &mut [Suppression], lint: &str, line: u32) -> bool {
     for s in suppressions.iter_mut() {
         if s.lint == lint && (s.line == line || s.line + 1 == line) {
             s.used = true;
@@ -213,7 +192,7 @@ fn try_suppress(suppressions: &mut [Suppression], lint: &str, line: u32) -> bool
     false
 }
 
-fn lint_nondeterminism(tokens: &[&Token], path: &str, out: &mut Vec<Finding>) {
+fn lint_nondeterminism(tokens: &[Token], path: &str, out: &mut Vec<Finding>) {
     for t in tokens {
         if t.kind == TokenKind::Ident && HASHER_SEEDED.contains(&t.text.as_str()) {
             out.push(Finding {
@@ -231,7 +210,7 @@ fn lint_nondeterminism(tokens: &[&Token], path: &str, out: &mut Vec<Finding>) {
     }
 }
 
-fn lint_wall_clock(tokens: &[&Token], path: &str, out: &mut Vec<Finding>) {
+fn lint_wall_clock(tokens: &[Token], path: &str, out: &mut Vec<Finding>) {
     for t in tokens {
         if t.kind == TokenKind::Ident && AMBIENT_HOST_STATE.contains(&t.text.as_str()) {
             out.push(Finding {
@@ -250,7 +229,7 @@ fn lint_wall_clock(tokens: &[&Token], path: &str, out: &mut Vec<Finding>) {
 }
 
 /// Lines holding `.unwrap()`, `.expect(`, or an aborting macro invocation.
-fn panic_site_lines(tokens: &[&Token]) -> Vec<(u32, String)> {
+fn panic_site_lines(tokens: &[Token]) -> Vec<(u32, String)> {
     let mut sites = Vec::new();
     for (i, t) in tokens.iter().enumerate() {
         if t.kind != TokenKind::Ident {
@@ -266,29 +245,4 @@ fn panic_site_lines(tokens: &[&Token]) -> Vec<(u32, String)> {
         }
     }
     sites
-}
-
-fn lint_persistence_domain(tokens: &[&Token], path: &str, out: &mut Vec<Finding>) {
-    for (i, t) in tokens.iter().enumerate() {
-        if t.kind != TokenKind::Ident || !DEVICE_WRITE_METHODS.contains(&t.text.as_str()) {
-            continue;
-        }
-        let prev_dot = i > 0 && tokens[i - 1].kind == TokenKind::Punct && tokens[i - 1].text == ".";
-        let next_paren = tokens
-            .get(i + 1)
-            .is_some_and(|n| n.kind == TokenKind::Punct && n.text == "(");
-        if prev_dot && next_paren {
-            out.push(Finding {
-                file: path.to_string(),
-                line: t.line,
-                lint: LINT_PERSISTENCE_DOMAIN.into(),
-                message: format!(
-                    "direct NvmDevice::{} call bypasses the WPQ persistence \
-                     domain; route the write through the controller, or move \
-                     it into a sanctioned drain/dump/recovery site",
-                    t.text
-                ),
-            });
-        }
-    }
 }

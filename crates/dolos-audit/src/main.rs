@@ -6,6 +6,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use dolos_audit::check_workspace;
+use dolos_audit::config::LINT_DESCRIPTIONS;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -20,9 +21,20 @@ fn main() -> ExitCode {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => return usage("--root needs a path"),
             },
-            "check" if command.is_none() => command = Some(arg),
+            "check" | "list-lints" if command.is_none() => command = Some(arg),
             other => return usage(&format!("unexpected argument `{other}`")),
         }
+    }
+    if command.as_deref() == Some("list-lints") {
+        let width = LINT_DESCRIPTIONS
+            .iter()
+            .map(|(name, _)| name.len())
+            .max()
+            .unwrap_or(0);
+        for (name, description) in LINT_DESCRIPTIONS {
+            println!("{name:width$}  {description}");
+        }
+        return ExitCode::SUCCESS;
     }
     if command.as_deref() != Some("check") {
         return usage("missing subcommand");
@@ -54,6 +66,6 @@ fn main() -> ExitCode {
 
 fn usage(err: &str) -> ExitCode {
     eprintln!("dolos-audit: {err}");
-    eprintln!("usage: dolos-audit check [--json] [--root <workspace-root>]");
+    eprintln!("usage: dolos-audit check [--json] [--root <workspace-root>] | list-lints");
     ExitCode::from(2)
 }

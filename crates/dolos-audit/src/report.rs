@@ -1,6 +1,11 @@
-//! Findings and their text / JSON renderings.
+//! Findings, the suppression inventory, and their text / JSON renderings.
 
 use std::fmt;
+
+/// JSON schema version of [`Report::to_json`]. Bumped when the shape
+/// changes: v1 was findings/count/files_scanned/panic_sites; v2 adds this
+/// field and the active-suppression inventory.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// One audit finding.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -25,6 +30,20 @@ impl fmt::Display for Finding {
     }
 }
 
+/// One active (matched) `audit:allow` suppression — the exception
+/// inventory CI diffs across PRs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SuppressedSite {
+    /// Repo-relative, `/`-separated path.
+    pub file: String,
+    /// 1-based line of the `audit:allow` comment.
+    pub line: u32,
+    /// The allowed lint.
+    pub lint: String,
+    /// The written justification.
+    pub reason: String,
+}
+
 /// The outcome of one audit run.
 #[derive(Debug, Clone, Default)]
 pub struct Report {
@@ -32,8 +51,10 @@ pub struct Report {
     pub findings: Vec<Finding>,
     /// Files scanned.
     pub files_scanned: usize,
-    /// Unsuppressed panic sites counted against the ratchet budget.
+    /// Unsuppressed panic sites counted against the ratchet budgets.
     pub panic_sites: usize,
+    /// Active suppressions, sorted by (file, line).
+    pub suppressed: Vec<SuppressedSite>,
 }
 
 impl Report {
@@ -50,17 +71,19 @@ impl Report {
             out.push('\n');
         }
         out.push_str(&format!(
-            "audit: {} finding(s) across {} file(s); {} panic site(s) against the ratchet budget\n",
+            "audit: {} finding(s) across {} file(s); {} panic site(s) against \
+             the ratchet budget; {} active suppression(s)\n",
             self.findings.len(),
             self.files_scanned,
-            self.panic_sites
+            self.panic_sites,
+            self.suppressed.len()
         ));
         out
     }
 
-    /// Renders the machine-readable report.
+    /// Renders the machine-readable report (schema version 2).
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"findings\": [");
+        let mut out = format!("{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"findings\": [");
         for (i, f) in self.findings.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -74,6 +97,22 @@ impl Report {
             ));
         }
         if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"suppressions\": [");
+        for (i, s) in self.suppressed.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"file\": \"{}\", \"line\": {}, \"lint\": \"{}\", \"reason\": \"{}\"}}",
+                escape_json(&s.file),
+                s.line,
+                escape_json(&s.lint),
+                escape_json(&s.reason)
+            ));
+        }
+        if !self.suppressed.is_empty() {
             out.push_str("\n  ");
         }
         out.push_str(&format!(
@@ -118,18 +157,29 @@ mod tests {
             }],
             files_scanned: 3,
             panic_sites: 2,
+            suppressed: vec![SuppressedSite {
+                file: "crates/x/src/b.rs".into(),
+                line: 9,
+                lint: "panic-path".into(),
+                reason: "cache invariant".into(),
+            }],
         };
         assert!(report.to_text().contains("a.rs:7: [nondeterminism]"));
+        assert!(report.to_text().contains("1 active suppression(s)"));
         let json = report.to_json();
+        assert!(json.contains("\"schema_version\": 2"));
         assert!(json.contains("\"count\": 1"));
         assert!(json.contains("say \\\"no\\\""));
         assert!(json.contains("\"panic_sites\": 2"));
+        assert!(json.contains("\"reason\": \"cache invariant\""));
     }
 
     #[test]
     fn empty_report_is_clean_and_valid_json() {
         let report = Report::default();
         assert!(report.is_clean());
-        assert!(report.to_json().contains("\"findings\": [],"));
+        let json = report.to_json();
+        assert!(json.contains("\"findings\": [],"));
+        assert!(json.contains("\"suppressions\": [],"));
     }
 }

@@ -6,6 +6,7 @@
 //! token level via `#[cfg(test)]` region detection instead). Files come back
 //! sorted by path so reports and the ratchet count are order-stable.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::io;
 use std::path::Path;
@@ -44,6 +45,59 @@ pub fn collect_workspace(root: &Path) -> io::Result<Vec<SourceFile>> {
     }
     files.sort_by(|a, b| a.path.cmp(&b.path));
     Ok(files)
+}
+
+/// Parses the workspace `Cargo.toml`s into a direct-dependency map
+/// (`crate -> workspace deps`), used to scope call-graph edges. The parse
+/// is deliberately minimal — no TOML library — and only records `dolos*`
+/// dependency keys, which is all the graph needs.
+pub fn crate_dependencies(root: &Path) -> io::Result<BTreeMap<String, BTreeSet<String>>> {
+    let mut manifests = vec![root.join("Cargo.toml")];
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut crate_dirs: Vec<_> = fs::read_dir(&crates)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path().join("Cargo.toml"))
+            .filter(|p| p.is_file())
+            .collect();
+        crate_dirs.sort();
+        manifests.extend(crate_dirs);
+    }
+    let mut map = BTreeMap::new();
+    for manifest in manifests {
+        let text = match fs::read_to_string(&manifest) {
+            Ok(t) => t,
+            Err(_) => continue,
+        };
+        let mut name: Option<String> = None;
+        let mut deps = BTreeSet::new();
+        let mut section = String::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = header.trim().to_string();
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                continue;
+            };
+            let key = key.trim().trim_matches('"');
+            if section == "package" && key == "name" {
+                name = Some(value.trim().trim_matches('"').to_string());
+            }
+            // `dolos-x = { path = ".." }` under any dependencies table,
+            // including `dolos-x.path = ".."` dotted keys.
+            let dep_key = key.split('.').next().unwrap_or(key);
+            if section.ends_with("dependencies") && dep_key.starts_with("dolos") {
+                deps.insert(dep_key.to_string());
+            }
+        }
+        if let Some(name) = name {
+            map.insert(name, deps);
+        }
+    }
+    Ok(map)
 }
 
 fn collect_dir(

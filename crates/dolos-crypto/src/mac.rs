@@ -179,6 +179,34 @@ impl MacEngine {
             fed: 0,
         }
     }
+
+    /// Starts a streaming computation equivalent to [`Self::tag`] over a
+    /// message of exactly `message_len` bytes.
+    ///
+    /// `tag` folds the total length into its first cipher block, so a
+    /// streaming caller must declare it up front; feeding a different
+    /// number of bytes is a logic error and is asserted. The returned
+    /// state is already "inside" the single implicit part: feed bytes with
+    /// [`CbcMac::update`], then close with [`CbcMac::end_part`] and take
+    /// the tag with [`CbcMac::finish`]. The result is byte-identical to
+    /// `tag` over the same byte sequence — hot paths use this to MAC
+    /// scattered fields without first concatenating them into a `Vec`.
+    ///
+    /// Unlike [`Self::streamer`]/[`Self::tag_parts`], no per-part length
+    /// block is absorbed — the chaining exactly mirrors `tag`'s, so the
+    /// two formulations stay interchangeable per call site, never mixed.
+    pub fn stream_tag(&self, message_len: u64) -> CbcMac<'_> {
+        CbcMac {
+            key: &self.key,
+            state: self.initial_state(message_len),
+            buf: [0u8; BLOCK_SIZE],
+            buf_len: 0,
+            in_part: true,
+            parts_left: 0,
+            expected: message_len,
+            fed: 0,
+        }
+    }
 }
 
 /// An incremental CBC-MAC over borrowed byte slices.
@@ -424,6 +452,37 @@ mod tests {
             s.part(b"tail");
             assert_eq!(s.finish(), expected, "split {split}");
         }
+    }
+
+    #[test]
+    fn stream_tag_matches_tag() {
+        let m = engine();
+        for len in [0usize, 1, 7, 15, 16, 17, 63, 64, 65, 128, 200] {
+            let msg: Vec<u8> = (0..len).map(|i| (i * 13 + 5) as u8).collect();
+            let expected = m.tag(&msg);
+            for split in [1usize, 3, 7, 16, 17, 64] {
+                let mut s = m.stream_tag(len as u64);
+                for chunk in msg.chunks(split) {
+                    s.update(chunk);
+                }
+                s.end_part();
+                assert_eq!(s.finish(), expected, "len {len} split {split}");
+            }
+            // Single-shot feed (a no-op update loop for the empty message).
+            let mut s = m.stream_tag(len as u64);
+            s.update(&msg);
+            s.end_part();
+            assert_eq!(s.finish(), expected, "len {len} whole");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match bytes fed")]
+    fn stream_tag_rejects_length_mismatch() {
+        let m = engine();
+        let mut s = m.stream_tag(4);
+        s.update(b"12345");
+        s.end_part();
     }
 
     #[test]

@@ -22,7 +22,9 @@ use dolos_sim::Cycle;
 use crate::{addr::LineAddr, Line};
 
 /// One occupied WPQ slot: the (Mi-SU-encrypted) payload and its metadata.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// All fields are plain value types; `Copy` keeps the drain path's
+/// fetch-oldest handoff allocation- and clone-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WpqEntry {
     /// The cacheline address this write targets.
     pub addr: LineAddr,
@@ -323,7 +325,7 @@ impl WriteQueue {
         let Slot::Live(entry) = std::mem::replace(&mut self.slots[idx], Slot::Free) else {
             unreachable!("checked above");
         };
-        let copy = entry.clone();
+        let copy = entry;
         self.slots[idx] = Slot::Busy(entry);
         self.next_scan = (self.next_scan + 1) % self.slots.len();
         Some(copy)
@@ -355,7 +357,7 @@ impl WriteQueue {
         for i in 0..cap {
             let idx = (self.next_fetch + i) % cap;
             if let Some(e) = self.slots[idx].entry() {
-                out.push(e.clone());
+                out.push(*e);
             }
         }
         out

@@ -46,6 +46,11 @@ fn node_key(level: usize, index: u64) -> (usize, u64) {
     (level, index)
 }
 
+/// Upper bound on tree height: `ARITY^22 = 8^22 > 2^64`, so any `u64` leaf
+/// count fits. Lets [`TreeOfCounters::update_leaf`] keep the update path in
+/// a fixed-size stack array instead of allocating per write.
+const MAX_HEIGHT: usize = 22;
+
 /// A lazily-updated Tree of Counters with Phoenix-style shadow protection.
 ///
 /// # Examples
@@ -174,14 +179,19 @@ impl TreeOfCounters {
         } else {
             self.node(level + 1, index / ARITY).counters[(index % ARITY) as usize]
         };
-        let mut bytes = Vec::with_capacity(8 * (ARITY as usize + 3));
+        // Streamed MAC (byte-identical to `tag` over the former
+        // concatenation buffer): ARITY counters + parent counter + level +
+        // index, 8 little-endian bytes each. This sits on the per-write
+        // critical path, so no allocation.
+        let mut s = engine.stream_tag(8 * (ARITY + 3));
         for c in &node.counters {
-            bytes.extend_from_slice(&c.to_le_bytes());
+            s.update(&c.to_le_bytes());
         }
-        bytes.extend_from_slice(&parent_counter.to_le_bytes());
-        bytes.extend_from_slice(&(level as u64).to_le_bytes());
-        bytes.extend_from_slice(&index.to_le_bytes());
-        engine.tag(&bytes)
+        s.update(&parent_counter.to_le_bytes());
+        s.update(&(level as u64).to_le_bytes());
+        s.update(&index.to_le_bytes());
+        s.end_part();
+        s.finish()
     }
 
     fn leaf_mac_value(&self, engine: &MacEngine, index: u64, leaf_line: &Line) -> Mac64 {
@@ -190,21 +200,30 @@ impl TreeOfCounters {
     }
 
     fn compute_shadow_root(&self, engine: &MacEngine) -> Mac64 {
-        let mut bytes = Vec::new();
+        // Streamed MAC (byte-identical to `tag` over the former
+        // concatenation buffer). Per shadow node: level + index + ARITY
+        // counters (8 LE bytes each) + the 8-byte node MAC; per shadow leaf
+        // MAC: index + MAC; then the root counter. Recomputed on every leaf
+        // update, so no allocation.
+        let len = self.shadow.len() as u64 * (8 * (ARITY + 3))
+            + self.shadow_leaf_macs.len() as u64 * 16
+            + 8;
+        let mut s = engine.stream_tag(len);
         for (&(level, index), node) in &self.shadow {
-            bytes.extend_from_slice(&(level as u64).to_le_bytes());
-            bytes.extend_from_slice(&index.to_le_bytes());
+            s.update(&(level as u64).to_le_bytes());
+            s.update(&index.to_le_bytes());
             for c in &node.counters {
-                bytes.extend_from_slice(&c.to_le_bytes());
+                s.update(&c.to_le_bytes());
             }
-            bytes.extend_from_slice(&node.mac);
+            s.update(&node.mac);
         }
         for (&index, mac) in &self.shadow_leaf_macs {
-            bytes.extend_from_slice(&index.to_le_bytes());
-            bytes.extend_from_slice(mac);
+            s.update(&index.to_le_bytes());
+            s.update(mac);
         }
-        bytes.extend_from_slice(&self.root_counter.to_le_bytes());
-        engine.tag(&bytes)
+        s.update(&self.root_counter.to_le_bytes());
+        s.end_part();
+        s.finish()
     }
 
     /// Updates leaf `index` to `leaf_line`: increments version counters up
@@ -234,12 +253,13 @@ impl TreeOfCounters {
         self.root_counter += 1;
         // Recompute MACs top-down so each node MACs against its parent's new
         // counter.
-        let mut path = Vec::with_capacity(self.height);
+        let mut path = [(0usize, 0u64); MAX_HEIGHT];
         let mut idx = index;
         for level in 1..=self.height {
             idx /= ARITY;
-            path.push((level, idx));
+            path[level - 1] = (level, idx);
         }
+        let path = &path[..self.height];
         for &(level, node_idx) in path.iter().rev() {
             let mut node = self.node(level, node_idx);
             node.mac = self.node_mac(engine, level, node_idx, &node);
@@ -248,7 +268,7 @@ impl TreeOfCounters {
         let mac = self.leaf_mac_value(engine, index, leaf_line);
         self.cache_leaf_macs.insert(index, mac);
         // Write-through to the shadow region; eagerly update its root.
-        for &(level, node_idx) in &path {
+        for &(level, node_idx) in path {
             self.shadow
                 .insert(node_key(level, node_idx), self.node(level, node_idx));
         }
