@@ -132,6 +132,7 @@ impl Config {
             clock_exempt_crates: to_vec(&["dolos-bench"]),
             strict_panic_files: to_vec(&[
                 "dolos-core/src/masu.rs",
+                "dolos-nvm/src/bank.rs",
                 "dolos-whisper/src/oracle.rs",
                 "dolos-chaos/src/driver.rs",
                 "dolos-chaos/src/campaign.rs",

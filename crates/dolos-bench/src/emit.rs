@@ -297,6 +297,35 @@ mod tests {
     }
 
     #[test]
+    fn experiment_row_schema_is_pinned() {
+        // The exact serialized row shape, pinned so downstream BENCH_* JSON
+        // consumers (and the CI golden cmp) never see a silent key change.
+        // `recovery`-style rows carry real cell counts — never zero — so
+        // `cells_per_sec` is a meaningful throughput.
+        let report = BenchReport {
+            date: "2026-08-08".into(),
+            transactions: 400,
+            warmup: 48,
+            seed: 24301,
+            jobs: 2,
+            entries: vec![BenchEntry {
+                name: "recovery".into(),
+                wall_ms: 12.5,
+                cells: 3,
+                sim_cycles: 444_000,
+            }],
+            trace: vec![],
+        };
+        assert!(report.to_json().contains(
+            "{\"name\": \"recovery\", \"wall_ms\": 12.500, \"cells\": 3, \
+             \"sim_cycles\": 444000, \"cells_per_sec\": 240.000}"
+        ));
+        assert!(report
+            .to_golden()
+            .contains("{\"name\": \"recovery\", \"cells\": 3, \"sim_cycles\": 444000}"));
+    }
+
+    #[test]
     fn zero_time_throughput_is_zero_not_nan() {
         let e = BenchEntry {
             name: "fig6".into(),

@@ -96,6 +96,11 @@ fn fill_line(rng: &mut XorShift) -> Line {
 /// Applies a tamper while the system is crashed. Returns `false` if the
 /// spec's target had no resident lines to corrupt.
 ///
+/// `per_bank_slots` is the usable WPQ depth of one bank
+/// ([`ControllerConfig::usable_wpq_entries`]): global dump slot `s` belongs
+/// to bank `s / per_bank_slots`, which is how [`TamperSpec::TornBank`]
+/// selects its victim shard.
+///
 /// Public so other falsifiers (`dolos-verify`) inject the same corruption
 /// classes without re-deriving the torn-dump snapshot plumbing.
 pub fn apply_tamper(
@@ -103,6 +108,7 @@ pub fn apply_tamper(
     layout: &MetadataLayout,
     spec: TamperSpec,
     dump_snapshot: &[(dolos_nvm::LineAddr, Line)],
+    per_bank_slots: usize,
 ) -> bool {
     match spec {
         TamperSpec::FlipBit { region, pick, bit } => {
@@ -124,6 +130,29 @@ pub fn apply_tamper(
             // they still hold the previous epoch's contents.
             // audit:allow(persistence-domain) -- torn-dump fault injection models exactly the ADR loss the WPQ cannot see, so it must bypass it
             nvm.restore_lines(&dump_snapshot[dump_snapshot.len() - n..]);
+            true
+        }
+        TamperSpec::TornBank { bank, drop } => {
+            if drop == 0 || per_bank_slots == 0 {
+                return false;
+            }
+            // Only the victim bank's payload lines revert; table lines and
+            // other shards' slots persisted on their own reserve bursts.
+            let (start, _) = layout.region_range(MetaRegion::WpqDump);
+            let shard: Vec<(dolos_nvm::LineAddr, Line)> = dump_snapshot
+                .iter()
+                .copied()
+                .filter(|(addr, _)| {
+                    let slot = (addr.as_u64() - start) / 64;
+                    slot / per_bank_slots as u64 == bank as u64
+                })
+                .collect();
+            if shard.is_empty() {
+                return false;
+            }
+            let n = drop.min(shard.len());
+            // audit:allow(persistence-domain) -- per-bank torn-dump injection models one bank's ADR burst dying, so it must bypass the WPQ
+            nvm.restore_lines(&shard[shard.len() - n..]);
             true
         }
     }
@@ -153,7 +182,10 @@ pub fn run_schedule(config: &ControllerConfig, schedule: &Schedule) -> RunReport
     for (index, round) in schedule.rounds.iter().enumerate() {
         // Stale-epoch snapshot for a scheduled torn dump, taken before this
         // round's crash overwrites the region.
-        let dump_snapshot = if matches!(round.tamper, Some(TamperSpec::TornDump { .. })) {
+        let dump_snapshot = if matches!(
+            round.tamper,
+            Some(TamperSpec::TornDump { .. } | TamperSpec::TornBank { .. })
+        ) {
             let (start, end) = layout.region_range(MetaRegion::WpqDump);
             sys.nvm().snapshot_range(start, end)
         } else {
@@ -206,7 +238,13 @@ pub fn run_schedule(config: &ControllerConfig, schedule: &Schedule) -> RunReport
 
         // --- adversarial window: the attacker holds the device ---
         let tampered = match round.tamper {
-            Some(spec) => apply_tamper(sys.nvm_mut(), &layout, spec, &dump_snapshot),
+            Some(spec) => apply_tamper(
+                sys.nvm_mut(),
+                &layout,
+                spec,
+                &dump_snapshot,
+                config.usable_wpq_entries(),
+            ),
             None => false,
         };
 

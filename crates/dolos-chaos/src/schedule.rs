@@ -36,6 +36,18 @@ pub enum TamperSpec {
         /// Number of trailing dump lines that revert to the old epoch.
         drop: usize,
     },
+    /// Tear the ADR dump of a single NVM bank: restore the trailing `drop`
+    /// payload lines of that bank's WPQ shard (global slots
+    /// `bank × per_bank .. (bank+1) × per_bank`) from the previous epoch's
+    /// snapshot. Models one bank's reserve-power burst dying while the
+    /// others complete — the failure mode banked drains introduce.
+    TornBank {
+        /// The bank whose dump burst is torn.
+        bank: usize,
+        /// Number of that bank's trailing dump lines reverting to the old
+        /// epoch.
+        drop: usize,
+    },
 }
 
 impl fmt::Display for TamperSpec {
@@ -45,6 +57,7 @@ impl fmt::Display for TamperSpec {
                 write!(f, "flip({region},{pick},b{bit})")
             }
             TamperSpec::TornDump { drop } => write!(f, "torn({drop})"),
+            TamperSpec::TornBank { bank, drop } => write!(f, "tornb({bank},{drop})"),
         }
     }
 }

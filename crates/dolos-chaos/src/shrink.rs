@@ -90,6 +90,28 @@ impl Shrinkable for Schedule {
                 s.rounds[i].tamper = None;
                 out.push(s);
             }
+            // A per-bank tear simplifies toward the whole-dump tear (one
+            // fewer coordinate), then toward bank 0 and a single dropped
+            // line — all strictly smaller, so shrinking stays well-founded.
+            if let Some(crate::schedule::TamperSpec::TornBank { bank, drop }) = round.tamper {
+                let mut s = self.clone();
+                s.rounds[i].tamper = Some(crate::schedule::TamperSpec::TornDump { drop });
+                out.push(s);
+                if bank > 0 {
+                    let mut s = self.clone();
+                    s.rounds[i].tamper =
+                        Some(crate::schedule::TamperSpec::TornBank { bank: 0, drop });
+                    out.push(s);
+                }
+                if drop > 1 {
+                    let mut s = self.clone();
+                    s.rounds[i].tamper = Some(crate::schedule::TamperSpec::TornBank {
+                        bank,
+                        drop: drop / 2,
+                    });
+                    out.push(s);
+                }
+            }
             if round.fault.is_some() {
                 let mut s = self.clone();
                 s.rounds[i].fault = None;

@@ -169,8 +169,12 @@ pub struct ControllerConfig {
     pub kind: ControllerKind,
     /// Integrity-tree organization and update policy.
     pub scheme: UpdateScheme,
-    /// Physical WPQ entries (baseline default 16).
+    /// Physical WPQ entries **per bank** (baseline default 16).
     pub physical_wpq_entries: usize,
+    /// NVM banks (power of two). Each bank gets its own WPQ shard and
+    /// drain-serialization clock; `1` (the default) is the paper's
+    /// single-queue model and is cycle-identical to the unbanked code.
+    pub banks: usize,
     /// Protected data region size in bytes.
     pub region_bytes: u64,
     /// Crypto latencies (Table 1 defaults).
@@ -236,6 +240,7 @@ impl ControllerConfig {
             kind,
             scheme: UpdateScheme::EagerMerkle,
             physical_wpq_entries: 16,
+            banks: 1,
             region_bytes: Self::DEFAULT_REGION_BYTES,
             latency: CryptoLatency::default(),
             counter_cache_bytes: 128 * 1024,
@@ -255,9 +260,16 @@ impl ControllerConfig {
         self
     }
 
-    /// Sets the physical WPQ size (builder style).
+    /// Sets the physical per-bank WPQ size (builder style).
     pub fn with_wpq_entries(mut self, entries: usize) -> Self {
         self.physical_wpq_entries = entries;
+        self
+    }
+
+    /// Sets the NVM bank count (builder style). Must be a power of two;
+    /// enforced when the memory system is built.
+    pub fn with_banks(mut self, banks: usize) -> Self {
+        self.banks = banks;
         self
     }
 
@@ -270,6 +282,16 @@ impl ControllerConfig {
     /// Overrides the MAC latency in both security units (builder style).
     pub fn with_mac_latency(mut self, cycles: u64) -> Self {
         self.latency.mac = cycles;
+        self
+    }
+
+    /// Overrides the AES latency in the Ma-SU pipeline (builder style).
+    ///
+    /// The Mi-SU front end XORs pregenerated pads, so this knob only moves
+    /// the drain-side re-encryption stage — probes use it to hold drains
+    /// in flight without perturbing insert timing.
+    pub fn with_aes_latency(mut self, cycles: u64) -> Self {
+        self.latency.aes = cycles;
         self
     }
 
@@ -303,7 +325,8 @@ impl ControllerConfig {
         self
     }
 
-    /// WPQ entries usable for write buffering under this configuration.
+    /// WPQ entries usable for write buffering **per bank** under this
+    /// configuration.
     ///
     /// Dolos designs shrink the usable queue per §5.2.1; every other
     /// controller uses the physical queue.
@@ -312,6 +335,19 @@ impl ControllerConfig {
             ControllerKind::Dolos(misu) => misu.usable_wpq_entries(self.physical_wpq_entries),
             _ => self.physical_wpq_entries,
         }
+    }
+
+    /// Usable WPQ entries summed across all banks. The §5.2.1 shrinkage
+    /// applies per bank (each shard reserves its own drain-MAC energy), so
+    /// this is `banks ×` the per-bank figure — 4 × 13 = 52 for Partial at
+    /// 4 banks, not `usable(4 × 16) = 57`.
+    pub fn total_usable_wpq_entries(&self) -> usize {
+        self.banks * self.usable_wpq_entries()
+    }
+
+    /// Physical WPQ entries summed across all banks.
+    pub fn total_physical_wpq_entries(&self) -> usize {
+        self.banks * self.physical_wpq_entries
     }
 
     /// Mi-SU critical-path cycles for this configuration (zero for
@@ -401,6 +437,30 @@ mod tests {
         }
         assert_eq!(ControllerKind::from_name("dolos"), None);
         assert!(ControllerConfig::named("no-such-scheme").is_none());
+    }
+
+    #[test]
+    fn bank_knobs_default_to_the_single_queue_model() {
+        for kind in ControllerKind::ALL {
+            let config = ControllerConfig::named(kind.name()).unwrap();
+            assert_eq!(config.banks, 1);
+            assert_eq!(
+                config.total_usable_wpq_entries(),
+                config.usable_wpq_entries()
+            );
+        }
+    }
+
+    #[test]
+    fn total_capacity_scales_per_bank_not_per_pool() {
+        // Shrinkage is per shard: 4 banks of 16 physical Partial entries
+        // give 4 × 13 = 52 usable, not usable(64) = 57.
+        let config = ControllerConfig::dolos(MiSuKind::Partial).with_banks(4);
+        assert_eq!(config.usable_wpq_entries(), 13);
+        assert_eq!(config.total_usable_wpq_entries(), 52);
+        assert_eq!(config.total_physical_wpq_entries(), 64);
+        let post = ControllerConfig::dolos(MiSuKind::Post).with_banks(8);
+        assert_eq!(post.total_usable_wpq_entries(), 80);
     }
 
     #[test]

@@ -15,15 +15,18 @@
 //!   eviction.
 //!
 //! Timing is simulated by lazy catch-up: every public operation first
-//! advances the background drain engine to `now`; the drain processes WPQ
-//! entries strictly in order, one at a time (the single redo-log buffer of
-//! §4.4 serializes Ma-SU entries).
+//! advances the background drain engine to `now`; the drain processes each
+//! bank's WPQ shard strictly in order, retiring up to one entry per idle
+//! bank per scheduling round (same-bank drains serialize through the bank's
+//! redo-log buffer; distinct banks proceed independently). With
+//! `banks = 1` — the default — this degenerates to the paper's
+//! single-queue, one-at-a-time model, cycle for cycle.
 
 use std::collections::VecDeque;
 
 use dolos_nvm::addr::LineAddr;
-use dolos_nvm::wpq::{InsertOutcome, WriteQueue};
-use dolos_nvm::{Line, NvmDevice};
+use dolos_nvm::wpq::InsertOutcome;
+use dolos_nvm::{BankSet, Line, NvmDevice};
 use dolos_secmem::layout::MetadataLayout;
 use dolos_sim::stats::{Histogram, Running, StatSet};
 use dolos_sim::trace::{sort_events, EventKind, TraceEvent, TraceMode, TraceSink};
@@ -70,19 +73,19 @@ pub struct SecureMemorySystem {
     config: ControllerConfig,
     layout: MetadataLayout,
     nvm: NvmDevice,
-    wpq: WriteQueue,
+    wpq: BankSet,
     misu: Option<MinorSecurityUnit>,
     masu: Option<MajorSecurityUnit>,
-    /// Entries being drained (started, not yet cleared), in order, with
-    /// their completion times. Completion is monotone by construction.
-    inflight: VecDeque<(usize, Cycle)>,
-    /// Ready times of queued entries, in insertion order.
-    ready_times: VecDeque<Cycle>,
-    /// Completion time of the most recently started drain (monotonic clamp).
-    last_drain_done: Cycle,
-    /// How many fetched entries may be in flight at once: the drain
-    /// engine's pipeline depth (latency / initiation interval). Entries
-    /// beyond this stay live in the WPQ and remain eligible for coalescing.
+    /// Per-bank: entries being drained (started, not yet cleared), in
+    /// order, with their completion times. Completion is monotone within a
+    /// bank by construction (the bank's busy-until clamp).
+    inflight: Vec<VecDeque<(usize, Cycle)>>,
+    /// Per-bank: ready times of queued entries, in insertion order.
+    ready_times: Vec<VecDeque<Cycle>>,
+    /// How many fetched entries may be in flight at once *per bank*: the
+    /// drain engine's pipeline depth (latency / initiation interval).
+    /// Entries beyond this stay live in the WPQ and remain eligible for
+    /// coalescing.
     drain_depth: usize,
     crashed: bool,
     persists: u64,
@@ -106,8 +109,9 @@ impl SecureMemorySystem {
     pub fn new(config: ControllerConfig) -> Self {
         let layout = MetadataLayout::new(config.region_bytes);
         let misu = match config.kind {
-            ControllerKind::Dolos(kind) => Some(MinorSecurityUnit::with_mac_latency(
+            ControllerKind::Dolos(kind) => Some(MinorSecurityUnit::with_geometry(
                 kind,
+                config.banks,
                 config.physical_wpq_entries,
                 config.key_seed,
                 config.latency.mac,
@@ -129,7 +133,7 @@ impl SecureMemorySystem {
             )),
         };
         let usable = config.usable_wpq_entries();
-        let mut wpq = WriteQueue::new(usable);
+        let mut wpq = BankSet::new(config.banks, usable);
         wpq.set_coalescing(config.coalescing);
         wpq.set_trace_mode(config.trace);
         let mut nvm = NvmDevice::new();
@@ -139,6 +143,7 @@ impl SecureMemorySystem {
             m
         });
         let masu = masu.map(|mut m| {
+            m.set_banks(config.banks);
             m.set_trace_mode(config.trace);
             m
         });
@@ -149,6 +154,7 @@ impl SecureMemorySystem {
             }
             _ => (config.masu_update_cycles() / config.latency.mac.max(1)) as usize + 1,
         };
+        let banks = config.banks;
         Self {
             trace: TraceSink::from_mode(config.trace),
             config,
@@ -157,9 +163,8 @@ impl SecureMemorySystem {
             wpq,
             misu,
             masu,
-            inflight: VecDeque::new(),
-            ready_times: VecDeque::new(),
-            last_drain_done: Cycle::ZERO,
+            inflight: vec![VecDeque::new(); banks],
+            ready_times: vec![VecDeque::new(); banks],
             drain_depth,
             crashed: false,
             persists: 0,
@@ -310,62 +315,86 @@ impl SecureMemorySystem {
     }
 
     /// Advances the background drain engine to `now`: completed entries are
-    /// cleared (strictly in order) and every queued entry is started — the
-    /// Ma-SU engine is pipelined, so starts are paced by the engine model,
-    /// not by the previous entry's completion.
+    /// cleared (strictly in per-bank ring order) and every queued entry is
+    /// started — the Ma-SU engine is pipelined, so starts are paced by the
+    /// engine model, not by the previous entry's completion.
+    ///
+    /// Scheduling is batched across banks: each fixpoint round visits every
+    /// bank and starts work on each idle one, so up to one entry per bank
+    /// retires per round instead of the queue head globally gating the rest.
     fn advance(&mut self, now: Cycle) {
         // A power failure already fired in the engine: the machine is dark
         // until a fallible operation converts it into a crash.
         if self.pending_power_failure.is_some() {
             return;
         }
-        // Alternate fill and clear until a fixpoint: fill the pipeline, then
-        // clear every completed entry, then fill the freed slots, … The old
-        // shape instead refilled at most ONE entry per cleared entry, and
-        // only when the pipeline had been *exactly* full before the pop
-        // (`inflight.len() + 1 == drain_depth`) — a stall-prone coupling
-        // that silently under-refilled whenever the two conditions drifted
-        // apart (e.g. a design whose pipeline depth exceeds its usable WPQ
-        // entries never satisfies the "exactly full" test). The fixpoint
-        // shape makes liveness unconditional: on exit either the pipeline
-        // is full, or no live unfetched entry remains, or nothing more
-        // completed by `now`.
+        // Alternate fill and clear until a fixpoint: fill every bank's
+        // pipeline, then clear every completed entry, then fill the freed
+        // slots, … The old shape instead refilled at most ONE entry per
+        // cleared entry, and only when the pipeline had been *exactly* full
+        // before the pop — a stall-prone coupling that silently
+        // under-refilled whenever the two conditions drifted apart. The
+        // fixpoint shape makes liveness unconditional: on exit either every
+        // bank's pipeline is full, or no live unfetched entry remains, or
+        // nothing more completed by `now`.
         loop {
-            // Start up to the engine's pipeline depth: deeper entries stay
-            // live (and coalescible) until a pipeline slot frees.
-            while self.inflight.len() < self.drain_depth {
-                let Some(entry) = self.wpq.fetch_oldest() else {
-                    break;
-                };
-                let ready = self
-                    .ready_times
-                    .pop_front()
-                    .expect("ready_times tracks queued entries");
-                let done = self.drain_one(entry.slot, entry.addr, &entry.payload, ready);
-                // Clamp monotone so ring clearing stays in order even when a
-                // counter-cache miss inflates one entry's completion.
-                self.last_drain_done = self.last_drain_done.max(done);
-                self.inflight.push_back((entry.slot, self.last_drain_done));
-                // Mid-drain fault: the entry is applied to NVM but not yet
-                // cleared from the WPQ, so the ADR dump will carry it again
-                // and recovery replays on top of the partial application.
-                if self.fault_fires(InjectionPoint::MasuDrain) {
-                    self.pending_power_failure = Some(InjectionPoint::MasuDrain);
-                    return;
+            for bank in 0..self.wpq.banks() {
+                // Start up to the engine's pipeline depth per bank: deeper
+                // entries stay live (and coalescible) until a slot frees.
+                while self.inflight[bank].len() < self.drain_depth {
+                    let Some(entry) = self.wpq.fetch_oldest(bank) else {
+                        break;
+                    };
+                    let ready = self.ready_times[bank]
+                        .pop_front()
+                        .expect("ready_times tracks queued entries");
+                    // An entry ready before its bank finished the previous
+                    // drain waited on the bank — the contention the banked
+                    // model exists to relieve. At one bank that wait is the
+                    // old global serialization and stays untraced, keeping
+                    // single-bank trace streams byte-identical.
+                    let busy = self.wpq.busy_until(bank);
+                    if self.trace.is_enabled() && busy > ready && self.wpq.banks() > 1 {
+                        self.trace.span(
+                            EventKind::BankBusy,
+                            ready,
+                            busy,
+                            bank as u64,
+                            busy - ready,
+                        );
+                    }
+                    let done = self.drain_one(entry.slot, entry.addr, &entry.payload, ready);
+                    // Clamp monotone against the bank's previous drain so
+                    // ring clearing stays in order even when a counter-cache
+                    // miss inflates one entry's completion. Other banks'
+                    // clocks are untouched — that independence is the
+                    // memory-level parallelism.
+                    let clamped = self.wpq.note_drain_done(bank, done);
+                    self.inflight[bank].push_back((entry.slot, clamped));
+                    // Mid-drain fault: the entry is applied to NVM but not
+                    // yet cleared from the WPQ, so the ADR dump will carry
+                    // it again and recovery replays on top of the partial
+                    // application.
+                    if self.fault_fires(InjectionPoint::MasuDrain) {
+                        self.pending_power_failure = Some(InjectionPoint::MasuDrain);
+                        return;
+                    }
                 }
             }
-            // Clear (strictly in ring order) everything that completed.
+            // Clear (strictly in each bank's ring order) what completed.
             let mut cleared = false;
-            while let Some(&(slot, done)) = self.inflight.front() {
-                if done > now {
-                    break;
+            for bank in 0..self.wpq.banks() {
+                while let Some(&(slot, done)) = self.inflight[bank].front() {
+                    if done > now {
+                        break;
+                    }
+                    self.wpq.clear_at(done, slot);
+                    if let Some(misu) = self.misu.as_mut() {
+                        misu.on_clear(slot);
+                    }
+                    self.inflight[bank].pop_front();
+                    cleared = true;
                 }
-                self.wpq.clear_at(done, slot);
-                if let Some(misu) = self.misu.as_mut() {
-                    misu.on_clear(slot);
-                }
-                self.inflight.pop_front();
-                cleared = true;
             }
             if !cleared {
                 return;
@@ -373,13 +402,14 @@ impl SecureMemorySystem {
         }
     }
 
-    /// When the oldest in-flight drain completes (used to wait on a full
-    /// WPQ). The queue being full guarantees an in-flight entry exists.
-    fn next_slot_free_at(&self) -> Cycle {
-        self.inflight
+    /// When the oldest in-flight drain of `bank` completes (used to wait on
+    /// a full shard). The shard being full guarantees an in-flight entry
+    /// exists.
+    fn next_slot_free_at(&self, bank: usize) -> Cycle {
+        self.inflight[bank]
             .front()
             .map(|&(_, done)| done)
-            .expect("a full WPQ always has an in-flight drain")
+            .expect("a full WPQ bank always has an in-flight drain")
     }
 
     /// Persists one cacheline: the core has executed a flush (clwb+fence)
@@ -437,6 +467,7 @@ impl SecureMemorySystem {
             self.trace
                 .instant(EventKind::PersistStart, now, addr.as_u64(), 0);
         }
+        let bank = self.wpq.bank_of(addr);
         let mut t = now;
 
         // Pre-WPQ security (baseline): the whole pipeline runs before the
@@ -474,12 +505,14 @@ impl SecureMemorySystem {
             // slot's pre-generated pad.
             let slot = match self.wpq.coalesce_slot(addr) {
                 Some(slot) => Some(slot),
-                None => self.wpq.next_insert_slot(),
+                None => self.wpq.next_insert_slot(bank),
             };
             let Some(slot) = slot else {
-                // WPQ full: one retry event, then wait for the drain.
+                // The address's bank is full: one retry event, then wait
+                // for that bank's drain (other banks may still be idle, but
+                // an address cannot change banks).
                 self.retries += 1;
-                let free_at = self.next_slot_free_at();
+                let free_at = self.next_slot_free_at(bank);
                 if self.trace.is_enabled() {
                     self.trace
                         .span(EventKind::FenceStall, t, t.max(free_at), addr.as_u64(), 0);
@@ -514,7 +547,7 @@ impl SecureMemorySystem {
             match outcome {
                 InsertOutcome::Inserted { slot: s } => {
                     debug_assert_eq!(s, slot);
-                    self.ready_times.push_back(done);
+                    self.ready_times[bank].push_back(done);
                     self.persist_latency.record(done - now);
                     self.persist_histogram.record(done - now);
                     if self.trace.is_enabled() {
@@ -564,7 +597,7 @@ impl SecureMemorySystem {
                 InsertOutcome::Full => {
                     // Raced with our own slot choice: treat as a retry.
                     self.retries += 1;
-                    let free_at = self.next_slot_free_at();
+                    let free_at = self.next_slot_free_at(bank);
                     if self.trace.is_enabled() {
                         self.trace
                             .span(EventKind::FenceStall, t, t.max(free_at), addr.as_u64(), 0);
@@ -665,8 +698,16 @@ impl SecureMemorySystem {
         loop {
             self.advance(t);
             self.take_power_failure(t)?;
-            match self.inflight.back() {
-                Some(&(_, done)) => t = done,
+            // Wait for the last completion across every bank; advancing to
+            // it clears everything earlier, then the loop re-checks for
+            // entries that started meanwhile.
+            let latest = self
+                .inflight
+                .iter()
+                .filter_map(|q| q.back().map(|&(_, done)| done))
+                .max();
+            match latest {
+                Some(done) => t = done,
                 None if self.wpq.is_empty() => return Ok(t),
                 None => unreachable!("advance starts work while entries remain"),
             }
@@ -713,9 +754,15 @@ impl SecureMemorySystem {
         if let Some(masu) = self.masu.as_mut() {
             masu.crash();
         }
+        // `clear_all` also rewinds every bank's busy-until clock, so drains
+        // after recovery start from a fresh per-bank serialization point.
         self.wpq.clear_all();
-        self.ready_times.clear();
-        self.inflight.clear();
+        for queue in &mut self.ready_times {
+            queue.clear();
+        }
+        for queue in &mut self.inflight {
+            queue.clear();
+        }
         self.nvm.power_cycle();
         self.crashed = true;
     }
@@ -773,7 +820,6 @@ impl SecureMemorySystem {
             self.misu.as_mut().expect("checked above").finish_recovery();
         }
         self.crashed = false;
-        self.last_drain_done = Cycle::ZERO;
         Ok(report)
     }
 
@@ -848,6 +894,207 @@ impl SecureMemorySystem {
             self.persist_histogram.percentile(0.99) as f64,
         );
         s
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod reference_drain {
+    //! The pre-bank single-queue drain scheduler, kept as an executable
+    //! reference model. The lockstep tests run seeded scenarios through
+    //! this model and through a [`BankSet`] with `banks = 1` driven by the
+    //! production scheduling rules, asserting identical retire sequences,
+    //! occupancy, and statistics.
+
+    use std::collections::VecDeque;
+
+    use dolos_nvm::addr::LineAddr;
+    use dolos_nvm::wpq::{InsertOutcome, WriteQueue};
+    use dolos_nvm::{BankSet, Line};
+    use dolos_sim::stats::StatSet;
+    use dolos_sim::Cycle;
+
+    /// Deterministic synthetic drain completion, standing in for the Ma-SU
+    /// pipeline: a pure function of the entry's address and ready time.
+    pub fn synthetic_done(addr: LineAddr, ready: Cycle) -> Cycle {
+        ready + 100 + (addr.line_index() % 7) * 30
+    }
+
+    /// The old global scheduler: one queue, one monotone completion clamp,
+    /// one depth-limited in-flight window.
+    pub struct ReferenceDrain {
+        wpq: WriteQueue,
+        inflight: VecDeque<(usize, Cycle)>,
+        ready: VecDeque<Cycle>,
+        last_done: Cycle,
+        depth: usize,
+        /// Cleared (slot, cycle) pairs in retirement order.
+        pub retired: Vec<(usize, u64)>,
+    }
+
+    impl ReferenceDrain {
+        pub fn new(capacity: usize, depth: usize) -> Self {
+            Self {
+                wpq: WriteQueue::new(capacity),
+                inflight: VecDeque::new(),
+                ready: VecDeque::new(),
+                last_done: Cycle::ZERO,
+                depth,
+                retired: Vec::new(),
+            }
+        }
+
+        pub fn occupancy(&self) -> usize {
+            self.wpq.len()
+        }
+
+        pub fn stats(&self) -> StatSet {
+            self.wpq.stats()
+        }
+
+        /// Inserts (or coalesces) a write; `false` when the queue is full.
+        pub fn insert(&mut self, now: Cycle, addr: LineAddr, payload: Line) -> bool {
+            match self.wpq.try_insert_at(now, addr, payload, None) {
+                InsertOutcome::Inserted { .. } => {
+                    self.ready.push_back(now);
+                    true
+                }
+                InsertOutcome::Coalesced { .. } => true,
+                InsertOutcome::Full => false,
+            }
+        }
+
+        /// The old fill/clear fixpoint, with the drain pipeline abstracted
+        /// to [`synthetic_done`].
+        pub fn advance(&mut self, now: Cycle) {
+            loop {
+                while self.inflight.len() < self.depth {
+                    let Some(entry) = self.wpq.fetch_oldest() else {
+                        break;
+                    };
+                    let ready = self.ready.pop_front().expect("ready tracks entries");
+                    let done = synthetic_done(entry.addr, ready);
+                    self.last_done = self.last_done.max(done);
+                    self.inflight.push_back((entry.slot, self.last_done));
+                }
+                let mut cleared = false;
+                while let Some(&(slot, done)) = self.inflight.front() {
+                    if done > now {
+                        break;
+                    }
+                    self.wpq.clear_at(done, slot);
+                    self.retired.push((slot, done.as_u64()));
+                    self.inflight.pop_front();
+                    cleared = true;
+                }
+                if !cleared {
+                    return;
+                }
+            }
+        }
+
+        pub fn quiesce(&mut self, now: Cycle) -> Cycle {
+            let mut t = now;
+            loop {
+                self.advance(t);
+                match self.inflight.back() {
+                    Some(&(_, done)) => t = done,
+                    None if self.wpq.is_empty() => return t,
+                    None => unreachable!("advance starts work while entries remain"),
+                }
+            }
+        }
+    }
+
+    /// The banked scheduler over a [`BankSet`], mirroring the production
+    /// `advance` fixpoint with the same synthetic drain model.
+    pub struct BankedDrain {
+        set: BankSet,
+        inflight: Vec<VecDeque<(usize, Cycle)>>,
+        ready: Vec<VecDeque<Cycle>>,
+        depth: usize,
+        /// Cleared (slot, cycle) pairs in retirement order.
+        pub retired: Vec<(usize, u64)>,
+    }
+
+    impl BankedDrain {
+        pub fn new(banks: usize, per_bank_capacity: usize, depth: usize) -> Self {
+            Self {
+                set: BankSet::new(banks, per_bank_capacity),
+                inflight: vec![VecDeque::new(); banks],
+                ready: vec![VecDeque::new(); banks],
+                depth,
+                retired: Vec::new(),
+            }
+        }
+
+        pub fn occupancy(&self) -> usize {
+            self.set.len()
+        }
+
+        pub fn stats(&self) -> StatSet {
+            self.set.stats()
+        }
+
+        /// Inserts (or coalesces) a write; `false` when its bank is full.
+        pub fn insert(&mut self, now: Cycle, addr: LineAddr, payload: Line) -> bool {
+            let bank = self.set.bank_of(addr);
+            match self.set.try_insert_at(now, addr, payload, None) {
+                InsertOutcome::Inserted { .. } => {
+                    self.ready[bank].push_back(now);
+                    true
+                }
+                InsertOutcome::Coalesced { .. } => true,
+                InsertOutcome::Full => false,
+            }
+        }
+
+        pub fn advance(&mut self, now: Cycle) {
+            loop {
+                for bank in 0..self.set.banks() {
+                    while self.inflight[bank].len() < self.depth {
+                        let Some(entry) = self.set.fetch_oldest(bank) else {
+                            break;
+                        };
+                        let ready = self.ready[bank].pop_front().expect("ready tracks entries");
+                        let done = synthetic_done(entry.addr, ready);
+                        let clamped = self.set.note_drain_done(bank, done);
+                        self.inflight[bank].push_back((entry.slot, clamped));
+                    }
+                }
+                let mut cleared = false;
+                for bank in 0..self.set.banks() {
+                    while let Some(&(slot, done)) = self.inflight[bank].front() {
+                        if done > now {
+                            break;
+                        }
+                        self.set.clear_at(done, slot);
+                        self.retired.push((slot, done.as_u64()));
+                        self.inflight[bank].pop_front();
+                        cleared = true;
+                    }
+                }
+                if !cleared {
+                    return;
+                }
+            }
+        }
+
+        pub fn quiesce(&mut self, now: Cycle) -> Cycle {
+            let mut t = now;
+            loop {
+                self.advance(t);
+                let latest = self
+                    .inflight
+                    .iter()
+                    .filter_map(|q| q.back().map(|&(_, done)| done))
+                    .max();
+                match latest {
+                    Some(done) => t = done,
+                    None if self.set.is_empty() => return t,
+                    None => unreachable!("advance starts work while entries remain"),
+                }
+            }
+        }
     }
 }
 
@@ -1025,6 +1272,90 @@ mod tests {
     }
 
     #[test]
+    fn banked_scheduler_locksteps_with_the_single_queue_reference() {
+        use super::reference_drain::{BankedDrain, ReferenceDrain};
+        for seed in [1u64, 7, 99, 24301] {
+            let mut reference = ReferenceDrain::new(13, 4);
+            let mut banked = BankedDrain::new(1, 13, 4);
+            let mut state = seed;
+            let mut t = Cycle::ZERO;
+            for step in 0..400u32 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let addr = LineAddr::from_index((state >> 33) % 48);
+                let payload = [(state >> 17) as u8; 64];
+                let a = reference.insert(t, addr, payload);
+                let b = banked.insert(t, addr, payload);
+                assert_eq!(a, b, "seed {seed} step {step} insert outcome");
+                t = t + 1 + (state % 200);
+                reference.advance(t);
+                banked.advance(t);
+                assert_eq!(
+                    reference.occupancy(),
+                    banked.occupancy(),
+                    "seed {seed} step {step} occupancy"
+                );
+            }
+            assert_eq!(reference.quiesce(t), banked.quiesce(t), "seed {seed}");
+            assert_eq!(reference.retired, banked.retired, "seed {seed} retires");
+            assert_eq!(
+                reference.stats().to_string(),
+                banked.stats().to_string(),
+                "seed {seed} stats"
+            );
+        }
+    }
+
+    #[test]
+    fn banked_controller_round_trips_across_bank_counts() {
+        for banks in [1usize, 2, 4, 8] {
+            let config = ControllerConfig::dolos(MiSuKind::Partial).with_banks(banks);
+            let mut sys = SecureMemorySystem::new(config);
+            let mut t = Cycle::ZERO;
+            for i in 0..48u64 {
+                t = sys.persist_write(t, i * 64, &line(i as u8 + 1));
+            }
+            let quiet = sys.quiesce(t);
+            for i in 0..48u64 {
+                let (_, data) = sys.read(quiet, i * 64);
+                assert_eq!(data, line(i as u8 + 1), "banks={banks} line {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn banks_overlap_drain_bound_bursts() {
+        // The fig16 drain-bound condition: Post puts nothing in the persist
+        // critical path, so throughput is gated entirely by the background
+        // Ma-SU update engine. Four banks must overlap those updates for at
+        // least the 1.2x the issue's acceptance bar demands (the measured
+        // ratio is far higher).
+        let quiesce_for = |banks: usize| {
+            let config = ControllerConfig::dolos(MiSuKind::Post)
+                .with_scheme(UpdateScheme::LazyToc)
+                .with_banks(banks);
+            let mut sys = SecureMemorySystem::new(config);
+            let mut t = Cycle::ZERO;
+            for i in 0..32u64 {
+                t = sys.persist_write(t, i * 64, &line(i as u8 + 1));
+            }
+            let quiet = sys.quiesce(t);
+            for i in 0..32u64 {
+                let (_, data) = sys.read(quiet, i * 64);
+                assert_eq!(data, line(i as u8 + 1), "banks={banks} line {i}");
+            }
+            quiet.as_u64()
+        };
+        let single = quiesce_for(1);
+        let banked = quiesce_for(4);
+        assert!(
+            single * 5 >= banked * 6,
+            "4 banks must beat 1 bank by >= 1.2x on a drain-bound burst: {single} vs {banked}"
+        );
+    }
+
+    #[test]
     fn crash_recover_round_trips_all_kinds() {
         let configs = [
             ControllerConfig::ideal(),
@@ -1051,6 +1382,25 @@ mod tests {
             for i in 0..32u64 {
                 let (_, data) = sys.read(Cycle::ZERO, i * 64);
                 assert_eq!(data, line(i as u8 + 1), "{name} line {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn banked_crash_recovery_replays_every_bank() {
+        for banks in [2usize, 4] {
+            let config = ControllerConfig::dolos(MiSuKind::Full).with_banks(banks);
+            let mut sys = SecureMemorySystem::new(config);
+            let mut t = Cycle::ZERO;
+            for i in 0..24u64 {
+                t = sys.persist_write(t, i * 64, &line(i as u8 + 1));
+            }
+            sys.crash(t);
+            let report = sys.recover().expect("banked recovery");
+            assert!(report.wpq_entries_replayed > 0, "banks={banks}");
+            for i in 0..24u64 {
+                let (_, data) = sys.read(Cycle::ZERO, i * 64);
+                assert_eq!(data, line(i as u8 + 1), "banks={banks} line {i}");
             }
         }
     }

@@ -85,8 +85,13 @@ pub struct MajorSecurityUnit {
     /// Updates per counter block since its last NVM write-back.
     pending_counter_updates: FlatMap<u64>,
     osiris_phase: u64,
-    engine: Pipeline,
-    /// AES pad latency, kept alongside the engine so trace spans can split
+    /// One crypto/tree-update engine per NVM bank (index =
+    /// [`LineAddr::bank_index`]). With a single bank this is the paper's
+    /// globally serial update engine; more banks model per-bank metadata
+    /// pipelines whose lazy subtree updates proceed independently.
+    engines: Vec<Pipeline>,
+    banks: usize,
+    /// AES pad latency, kept alongside the engines so trace spans can split
     /// one engine occupancy into its encrypt and tree-update stages.
     aes_cycles: u64,
     /// Serial tree-update MAC latency of the active scheme.
@@ -147,15 +152,18 @@ impl MajorSecurityUnit {
             ecc: FlatMap::new(),
             pending_counter_updates: FlatMap::new(),
             osiris_phase,
-            engine: {
+            engines: {
                 // The integrity-tree update MACs for one write are serial
-                // (Table 1); successive writes cannot overlap their tree
-                // updates either, because each update rewrites the path to
-                // the root that the next depends on. The engine therefore
-                // accepts a new write only when the previous update is done.
+                // (Table 1); successive writes to the same bank cannot
+                // overlap their tree updates either, because each update
+                // rewrites the path to the root that the next depends on.
+                // Each engine therefore accepts a new write only when the
+                // previous update is done. One engine per bank; see
+                // `set_banks`.
                 let update = latency.aes + tree_cycles;
-                Pipeline::new(update, update)
+                vec![Pipeline::new(update, update)]
             },
+            banks: 1,
             aes_cycles: latency.aes,
             tree_cycles,
             writes_processed: 0,
@@ -163,6 +171,23 @@ impl MajorSecurityUnit {
             reads_served: 0,
             trace: TraceSink::Null,
         }
+    }
+
+    /// Reshapes the update engine into one pipeline per NVM bank,
+    /// discarding any in-flight engine state. Call before issuing writes.
+    /// With `banks == 1` this is the paper's single serial engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is not a power of two.
+    pub fn set_banks(&mut self, banks: usize) {
+        assert!(
+            banks.is_power_of_two(),
+            "bank count must be a power of two, got {banks}"
+        );
+        let update = self.aes_cycles + self.tree_cycles;
+        self.engines = (0..banks).map(|_| Pipeline::new(update, update)).collect();
+        self.banks = banks;
     }
 
     /// Installs the event-tracing mode (discarding any buffered events).
@@ -410,7 +435,7 @@ impl MajorSecurityUnit {
         // each miss fetches the node from NVM first.
         let mt_penalty = self.fetch_tree_path(now, page, nvm);
         let start = now + miss_penalty + mt_penalty;
-        let done = self.engine.acquire(start);
+        let done = self.engines[addr.bank_index(self.banks)].acquire(start);
         if self.trace.is_enabled() {
             // The engine occupies one aes + tree-update slab ending at
             // `done`; split it into its re-encrypt and tree-update stages.
@@ -511,7 +536,9 @@ impl MajorSecurityUnit {
         self.counter_cache.lose_all();
         self.mt_cache.lose_all();
         self.pending_counter_updates.clear();
-        self.engine.reset();
+        for engine in &mut self.engines {
+            engine.reset();
+        }
         if let Tree::Lazy(toc) = &mut self.tree {
             toc.crash();
         }
@@ -673,7 +700,10 @@ impl MajorSecurityUnit {
         s.set("masu.writes", self.writes_processed as f64);
         s.set("masu.reads", self.reads_served as f64);
         s.set("masu.overflows", self.overflows as f64);
-        s.set("masu.engine_ops", self.engine.operations() as f64);
+        s.set(
+            "masu.engine_ops",
+            self.engines.iter().map(Pipeline::operations).sum::<u64>() as f64,
+        );
         s
     }
 }
@@ -801,6 +831,20 @@ mod tests {
         let (mut m, mut nvm) = masu(UpdateScheme::LazyToc);
         let done = m.process_write(Cycle::ZERO, addr(5), &[1; 64], &mut nvm);
         assert_eq!(done.as_u64(), 600 + 650 + 40 + 640);
+    }
+
+    #[test]
+    fn per_bank_engines_overlap_independent_updates() {
+        let (mut m, mut nvm) = masu(UpdateScheme::LazyToc);
+        m.set_banks(4);
+        let done = m.process_write(Cycle::ZERO, addr(0), &[1; 64], &mut nvm);
+        assert_eq!(done.as_u64(), 600 + 650 + 40 + 640);
+        // Same page (caches hit), different bank: bank 1's engine is idle,
+        // so this update is not serialized behind bank 0's.
+        let done2 = m.process_write(Cycle::ZERO, addr(1), &[1; 64], &mut nvm);
+        assert_eq!(done2.as_u64(), 40 + 640);
+        let s = m.stats();
+        assert_eq!(s.get("masu.engine_ops"), Some(2.0));
     }
 
     #[test]

@@ -133,8 +133,36 @@ impl MinorSecurityUnit {
         key_seed: u64,
         mac_latency: u64,
     ) -> Self {
-        assert!(physical_entries > 0, "WPQ must have entries");
-        let usable_entries = kind.usable_wpq_entries(physical_entries);
+        Self::with_geometry(kind, 1, physical_entries, key_seed, mac_latency)
+    }
+
+    /// Creates a Mi-SU for a bank-sharded WPQ: `banks` shards of
+    /// `per_bank_physical` slots each. One Mi-SU protects the whole set
+    /// (the MAC engine and the persistent registers stay single, per the
+    /// paper); only the pad/MAC arrays and the dump geometry scale.
+    ///
+    /// The §5.2.1 shrinkage applies *per shard* — each bank reserves its
+    /// own drain-MAC energy — so the usable total is
+    /// `banks × usable(per_bank_physical)`, not `usable(banks × per_bank)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is not a power of two or `per_bank_physical` is
+    /// zero.
+    pub fn with_geometry(
+        kind: MiSuKind,
+        banks: usize,
+        per_bank_physical: usize,
+        key_seed: u64,
+        mac_latency: u64,
+    ) -> Self {
+        assert!(per_bank_physical > 0, "WPQ must have entries");
+        assert!(
+            banks.is_power_of_two(),
+            "bank count must be a power of two, got {banks}"
+        );
+        let physical_entries = banks * per_bank_physical;
+        let usable_entries = banks * kind.usable_wpq_entries(per_bank_physical);
         let mut aes_key = [0u8; 16];
         aes_key[0..8].copy_from_slice(&key_seed.to_le_bytes());
         aes_key[8] = 0x11; // domain separation: Mi-SU encryption key

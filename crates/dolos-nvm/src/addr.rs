@@ -70,6 +70,25 @@ impl LineAddr {
     pub fn offset_lines(self, n: u64) -> Self {
         LineAddr(self.0 + n * LINE_SIZE as u64)
     }
+
+    /// The NVM bank this line maps to, for a power-of-two bank count.
+    ///
+    /// The mapping XOR-folds a higher line-index window onto the low bits
+    /// before masking, so both dense sequential sweeps and strided
+    /// page-granular workloads spread across banks instead of pinning one.
+    /// `banks == 1` always maps to bank 0 — the single-queue baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is zero or not a power of two.
+    pub fn bank_index(self, banks: usize) -> usize {
+        assert!(
+            banks.is_power_of_two(),
+            "bank count must be a power of two, got {banks}"
+        );
+        let idx = self.line_index();
+        ((idx ^ (idx >> 7)) & (banks as u64 - 1)) as usize
+    }
 }
 
 impl fmt::Display for LineAddr {
@@ -125,5 +144,55 @@ mod tests {
     #[test]
     fn display_is_hex() {
         assert_eq!(LineAddr::new(256).unwrap().to_string(), "0x100");
+    }
+
+    #[test]
+    fn bank_index_is_total_on_power_of_two_counts() {
+        for banks in [1usize, 2, 4, 8, 16] {
+            for i in 0..1024u64 {
+                let b = LineAddr::from_index(i).bank_index(banks);
+                assert!(b < banks, "index {i} escaped: bank {b} of {banks}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_bank_maps_everything_to_zero() {
+        for i in [0u64, 1, 63, 64, 127, 1 << 20, u64::MAX / 64] {
+            assert_eq!(LineAddr::from_index(i).bank_index(1), 0);
+        }
+    }
+
+    #[test]
+    fn sequential_lines_round_robin_low_bits() {
+        // Below the XOR-fold window (index < 128) the mapping is the plain
+        // low-bit interleave, so adjacent lines land on adjacent banks.
+        let banks = 4;
+        for i in 0..16u64 {
+            assert_eq!(
+                LineAddr::from_index(i).bank_index(banks),
+                (i % banks as u64) as usize
+            );
+        }
+    }
+
+    #[test]
+    fn strided_pages_do_not_pin_one_bank() {
+        // 4 KiB-page stride (64 lines) hits every bank thanks to the fold.
+        let banks = 8;
+        let mut seen = [false; 8];
+        for page in 0..64u64 {
+            seen[LineAddr::from_index(page * 64).bank_index(banks)] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "page stride pinned banks: {seen:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_bank_count_panics() {
+        let _ = LineAddr::from_index(0).bank_index(3);
     }
 }

@@ -10,7 +10,10 @@
 //!   tampering API used by the attack-injection tests;
 //! * [`wpq`] — the ADR-protected Write Pending Queue: a circular buffer with
 //!   per-entry cleared bits, insertion/fetch indices, and the volatile tag
-//!   array that enables write coalescing and read hits (paper §4.5).
+//!   array that enables write coalescing and read hits (paper §4.5);
+//! * [`bank`] — bank-sharded WPQs: one [`wpq::WriteQueue`] shard plus one
+//!   busy-until timestamp per NVM bank, exposing memory-level parallelism
+//!   to the drain scheduler (`banks = 1` degenerates to the single queue).
 //!
 //! # Examples
 //!
@@ -29,10 +32,12 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod bank;
 pub mod device;
 pub mod wpq;
 
 pub use addr::LineAddr;
+pub use bank::BankSet;
 pub use device::NvmDevice;
 pub use wpq::{InsertOutcome, WpqEntry, WriteQueue};
 

@@ -1,0 +1,198 @@
+//! Lockstep and property tests for the bank-sharded WPQ.
+//!
+//! The tentpole claim is that a [`BankSet`] with `banks = 1` *is* the old
+//! single [`WriteQueue`] — same outcomes, same occupancy, same statistics,
+//! byte for byte — and that at higher bank counts the address-to-bank map
+//! is a partition whose shards individually respect the per-bank capacity.
+//! These tests drive both models through seeded op streams and check the
+//! claims at every step, not just at the end.
+
+use dolos_nvm::addr::LineAddr;
+use dolos_nvm::bank::BankSet;
+use dolos_nvm::wpq::{InsertOutcome, WriteQueue};
+use dolos_sim::rng::XorShift;
+use dolos_sim::Cycle;
+
+fn addr(n: u64) -> LineAddr {
+    LineAddr::from_index(n)
+}
+
+/// Drives a `BankSet::new(1, capacity)` and a plain `WriteQueue` through
+/// one seeded stream of inserts, fetches, and clears, asserting lockstep
+/// equality after every operation.
+fn lockstep_round(seed: u64, capacity: usize, ops: usize) {
+    let mut set = BankSet::new(1, capacity);
+    let mut wpq = WriteQueue::new(capacity);
+    let mut rng = XorShift::new(seed);
+    // Fetched-but-uncleared slots, shared by construction: outcomes are
+    // asserted identical, so both models always have the same fetch heads.
+    let mut inflight: Vec<usize> = Vec::new();
+
+    for step in 0..ops {
+        let now = Cycle::new(step as u64);
+        match rng.next_below(4) {
+            // Insert or coalesce: a small keyspace forces both paths.
+            0 | 1 => {
+                let a = addr(rng.next_below(2 * capacity as u64));
+                let payload = [rng.next_below(256) as u8; 64];
+                assert_eq!(set.coalesce_slot(a), wpq.coalesce_slot(a), "step {step}");
+                let got = set.try_insert_at(now, a, payload, None);
+                let want = wpq.try_insert_at(now, a, payload, None);
+                assert_eq!(got, want, "step {step}");
+                if let InsertOutcome::Inserted { slot } = got {
+                    assert_eq!(set.bank_of_slot(slot), 0);
+                }
+            }
+            // Fetch the oldest entry into the drain window.
+            2 => {
+                let got = set.fetch_oldest(0);
+                let want = wpq.fetch_oldest();
+                assert_eq!(got, want, "step {step}");
+                if let Some(entry) = got {
+                    inflight.push(entry.slot);
+                }
+            }
+            // Retire the oldest in-flight entry, in fetch order.
+            _ => {
+                if !inflight.is_empty() {
+                    let slot = inflight.remove(0);
+                    set.clear_at(now, slot);
+                    wpq.clear_at(now, slot);
+                }
+            }
+        }
+        assert_eq!(set.len(), wpq.len(), "step {step}");
+        assert_eq!(set.is_empty(), wpq.is_empty(), "step {step}");
+        assert_eq!(set.is_full(0), wpq.is_full(), "step {step}");
+        assert_eq!(
+            set.next_insert_slot(0),
+            wpq.next_insert_slot(),
+            "step {step}"
+        );
+        assert_eq!(
+            set.occupied_in_order(),
+            wpq.occupied_in_order(),
+            "step {step}"
+        );
+    }
+    // The merged statistics are the single shard's, byte for byte.
+    assert_eq!(set.stats(), wpq.stats(), "seed {seed}");
+}
+
+#[test]
+fn single_bank_set_locksteps_with_a_plain_write_queue() {
+    for seed in 0..32 {
+        lockstep_round(seed, 16, 400);
+    }
+}
+
+#[test]
+fn single_bank_lockstep_holds_at_odd_capacities() {
+    // The Partial/Post usable depths are not powers of two; the lockstep
+    // must not depend on capacity alignment.
+    for (seed, capacity) in [(1, 13), (2, 10), (3, 1), (4, 3)] {
+        lockstep_round(seed, capacity, 300);
+    }
+}
+
+#[test]
+fn bank_mapping_is_a_partition() {
+    // Every address maps to exactly one bank, stably, and an insert lands
+    // in precisely that shard (observed through per-bank occupancy).
+    for banks in [1usize, 2, 4, 8, 16] {
+        let mut set = BankSet::new(banks, 4);
+        let mut rng = XorShift::new(banks as u64);
+        for _ in 0..200 {
+            let a = addr(rng.next_below(1 << 20));
+            let bank = set.bank_of(a);
+            assert!(bank < banks, "bank {bank} out of range at {banks} banks");
+            assert_eq!(bank, set.bank_of(a), "mapping must be stable");
+            let before = set.bank_len(bank);
+            let others: usize = (0..banks)
+                .filter(|&b| b != bank)
+                .map(|b| set.bank_len(b))
+                .sum();
+            match set.try_insert_at(Cycle::ZERO, a, [0xEE; 64], None) {
+                InsertOutcome::Inserted { slot } | InsertOutcome::Coalesced { slot } => {
+                    assert_eq!(set.bank_of_slot(slot), bank, "slot landed off-bank");
+                    assert!(set.bank_len(bank) >= before);
+                }
+                InsertOutcome::Full => assert!(set.is_full(bank)),
+            }
+            let others_after: usize = (0..banks)
+                .filter(|&b| b != bank)
+                .map(|b| set.bank_len(b))
+                .sum();
+            assert_eq!(others, others_after, "insert touched a foreign bank");
+        }
+    }
+}
+
+#[test]
+fn shards_never_exceed_the_per_bank_capacity() {
+    // An adversarial storm of distinct addresses: each shard must cap at
+    // its own depth and the global occupancy must always equal the sum of
+    // the shards — no slot is ever double-counted or borrowed across banks.
+    for (banks, per_bank) in [(2usize, 3usize), (4, 13), (8, 10)] {
+        let mut set = BankSet::new(banks, per_bank);
+        let mut rng = XorShift::new(0xB0B5);
+        for i in 0..(banks * per_bank * 4) {
+            let a = addr(rng.next_below(1 << 16));
+            let _ = set.try_insert_at(Cycle::new(i as u64), a, [0x11; 64], None);
+            let mut total = 0;
+            for bank in 0..banks {
+                let len = set.bank_len(bank);
+                assert!(
+                    len <= per_bank,
+                    "bank {bank} holds {len} > {per_bank} ({banks} banks)"
+                );
+                total += len;
+            }
+            assert_eq!(total, set.len(), "merged occupancy diverged");
+            assert!(set.len() <= set.capacity());
+        }
+    }
+}
+
+#[test]
+fn merged_occupancy_matches_the_global_queue_at_one_bank() {
+    // The banks=1 shard sum is the old global occupancy — checked against
+    // an independently-maintained reference count, so an off-by-one in
+    // either `len` cannot cancel out.
+    let mut set = BankSet::new(1, 16);
+    let mut live = 0usize;
+    let mut rng = XorShift::new(7);
+    let mut inflight: Vec<usize> = Vec::new();
+    for step in 0..500u64 {
+        if rng.chance(0.6) {
+            let a = addr(rng.next_below(24));
+            match set.try_insert_at(Cycle::new(step), a, [0x42; 64], None) {
+                InsertOutcome::Inserted { .. } => live += 1,
+                InsertOutcome::Coalesced { .. } | InsertOutcome::Full => {}
+            }
+        } else if rng.chance(0.5) {
+            if let Some(entry) = set.fetch_oldest(0) {
+                inflight.push(entry.slot);
+            }
+        } else if !inflight.is_empty() {
+            set.clear_at(Cycle::new(step), inflight.remove(0));
+            live -= 1;
+        }
+        assert_eq!(set.len(), live, "step {step}");
+        assert_eq!(set.bank_len(0), live, "step {step}");
+    }
+}
+
+#[test]
+fn drain_clamps_are_independent_across_banks() {
+    // The per-bank busy-until clocks are the whole point of banking: a
+    // slow drain in one bank must never delay another bank's completion.
+    let mut set = BankSet::new(4, 4);
+    assert_eq!(set.note_drain_done(0, Cycle::new(5_000)), Cycle::new(5_000));
+    for bank in 1..4 {
+        let done = Cycle::new(100 * bank as u64);
+        assert_eq!(set.note_drain_done(bank, done), done, "bank {bank}");
+    }
+    // Within a bank the clamp is monotone.
+    assert_eq!(set.note_drain_done(0, Cycle::new(10)), Cycle::new(5_000));
+}

@@ -89,11 +89,18 @@ pub enum EventKind {
     /// span ends at full completion; `value` is the cycle the write was
     /// accepted (ADR-safe) as a raw `u64`.
     NvmWrite,
+    /// A WPQ entry was ready to drain while its bank was still busy with
+    /// the previous drain — the per-bank serialization point of the banked
+    /// WPQ model. The span runs from the entry's ready time to the bank's
+    /// busy-until; `addr` is the bank index and `value` the wait length in
+    /// cycles. Never emitted with a single bank (there the same wait is the
+    /// old global drain serialization, which stays untraced).
+    BankBusy,
 }
 
 impl EventKind {
     /// Every kind, in a stable report order.
-    pub const ALL: [EventKind; 14] = [
+    pub const ALL: [EventKind; 15] = [
         EventKind::PersistStart,
         EventKind::PersistAck,
         EventKind::FenceStall,
@@ -108,6 +115,7 @@ impl EventKind {
         EventKind::MasuRedoCommit,
         EventKind::NvmRead,
         EventKind::NvmWrite,
+        EventKind::BankBusy,
     ];
 
     /// Stable snake_case name used in JSON exports and reports.
@@ -127,6 +135,7 @@ impl EventKind {
             EventKind::MasuRedoCommit => "masu_redo_commit",
             EventKind::NvmRead => "nvm_read",
             EventKind::NvmWrite => "nvm_write",
+            EventKind::BankBusy => "bank_busy",
         }
     }
 
@@ -144,7 +153,7 @@ impl EventKind {
             | EventKind::MasuEncrypt
             | EventKind::MasuTreeUpdate
             | EventKind::MasuRedoCommit => "masu",
-            EventKind::NvmRead | EventKind::NvmWrite => "nvm",
+            EventKind::NvmRead | EventKind::NvmWrite | EventKind::BankBusy => "nvm",
         }
     }
 
@@ -166,6 +175,7 @@ impl EventKind {
             EventKind::MasuRedoCommit => 11,
             EventKind::NvmRead => 12,
             EventKind::NvmWrite => 13,
+            EventKind::BankBusy => 14,
         }
     }
 }

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! dolos-trace run    [--transactions N] [--txn-bytes N] [--warmup N]
-//!                    [--seed N] [--jobs N] [--scheme NAME ...]
+//!                    [--seed N] [--jobs N] [--banks N] [--scheme NAME ...]
 //!                    [--workload NAME ...] [--out PATH]
 //! dolos-trace report [same flags as run]
 //! dolos-trace export --scheme NAME --workload NAME [--transactions N]
@@ -24,7 +24,7 @@ use dolos_whisper::runner::{run_workload, RunConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: dolos-trace run    [--transactions N] [--txn-bytes N] [--warmup N]\n\
-         \x20                      [--seed N] [--jobs N] [--scheme NAME ...]\n\
+         \x20                      [--seed N] [--jobs N] [--banks N] [--scheme NAME ...]\n\
          \x20                      [--workload NAME ...] [--out PATH]\n\
          \x20      dolos-trace report [same flags as run]\n\
          \x20      dolos-trace export --scheme NAME --workload NAME\n\
@@ -58,6 +58,7 @@ fn parse_cli(args: &[String]) -> Cli {
             "--warmup" => config.warmup = value().parse().unwrap_or_else(|_| usage()),
             "--seed" => config.seed = value().parse().unwrap_or_else(|_| usage()),
             "--jobs" => config.jobs = value().parse().unwrap_or_else(|_| usage()),
+            "--banks" => config.banks = value().parse().unwrap_or_else(|_| usage()),
             "--scheme" => {
                 let name = value();
                 match parse_scheme(name) {

@@ -80,6 +80,10 @@ pub struct ProfileConfig {
     /// Worker threads for the job pool (0 = all available). Affects
     /// wall-clock only, never the report.
     pub jobs: usize,
+    /// NVM banks (power of two). One bank reproduces the unbanked
+    /// controller cycle-for-cycle; more banks shard the WPQ and overlap
+    /// drains, and traced runs additionally emit `BankBusy` spans.
+    pub banks: usize,
     /// Schemes to profile, in report order.
     pub schemes: Vec<ControllerKind>,
     /// Workloads to profile, in report order.
@@ -94,6 +98,7 @@ impl Default for ProfileConfig {
             warmup: 8,
             seed: 0x5EED,
             jobs: 1,
+            banks: 1,
             schemes: REPORT_SCHEMES.to_vec(),
             workloads: WorkloadKind::ALL.to_vec(),
         }
@@ -153,9 +158,17 @@ impl CellProfile {
     }
 }
 
-/// Profiles one (scheme, workload) cell with tracing enabled.
-pub fn profile_cell(kind: ControllerKind, workload: WorkloadKind, run: &RunConfig) -> CellProfile {
-    let config = config_for(kind).with_trace(TraceMode::Record);
+/// Profiles one (scheme, workload) cell with tracing enabled, on a
+/// `banks`-way banked backend.
+pub fn profile_cell(
+    kind: ControllerKind,
+    workload: WorkloadKind,
+    run: &RunConfig,
+    banks: usize,
+) -> CellProfile {
+    let config = config_for(kind)
+        .with_banks(banks)
+        .with_trace(TraceMode::Record);
     let result = run_workload(workload, config, run);
     let mut latency = TraceHistogram::new();
     let mut occupancy = TraceHistogram::new();
@@ -215,6 +228,8 @@ pub struct ProfileReport {
     pub warmup: usize,
     /// RNG seed.
     pub seed: u64,
+    /// NVM banks per cell.
+    pub banks: usize,
     /// Scheme groups in report order.
     pub schemes: Vec<SchemeProfile>,
 }
@@ -226,11 +241,13 @@ impl ProfileReport {
     pub fn to_json(&self) -> String {
         let schemes: Vec<String> = self.schemes.iter().map(SchemeProfile::to_json).collect();
         format!(
-            "{{\"transactions\":{},\"txn_bytes\":{},\"warmup\":{},\"seed\":{},\"schemes\":[{}]}}",
+            "{{\"transactions\":{},\"txn_bytes\":{},\"warmup\":{},\"seed\":{},\"banks\":{},\
+             \"schemes\":[{}]}}",
             self.transactions,
             self.txn_bytes,
             self.warmup,
             self.seed,
+            self.banks,
             schemes.join(",")
         )
     }
@@ -294,7 +311,7 @@ pub fn run_profile(config: &ProfileConfig) -> ProfileReport {
         .flat_map(|&kind| config.workloads.iter().map(move |&w| (kind, w)))
         .collect();
     let cells = pool::run_indexed(config.jobs, &pairs, |_, &(kind, workload)| {
-        profile_cell(kind, workload, &run)
+        profile_cell(kind, workload, &run, config.banks)
     });
     let mut cells = cells.into_iter();
     let schemes = config
@@ -311,6 +328,7 @@ pub fn run_profile(config: &ProfileConfig) -> ProfileReport {
         txn_bytes: config.txn_bytes,
         warmup: config.warmup,
         seed: config.seed,
+        banks: config.banks,
         schemes,
     }
 }
@@ -324,6 +342,23 @@ mod tests {
         for (kind, expected) in REPORT_SCHEMES.iter().zip([0, 2890, 320, 160, 0]) {
             assert_eq!(persist_floor(*kind), expected, "{}", kind.name());
         }
+    }
+
+    #[test]
+    fn banked_profiles_are_jobs_invariant_and_report_their_bank_count() {
+        let mut config = ProfileConfig {
+            transactions: 6,
+            txn_bytes: 2048,
+            warmup: 2,
+            banks: 4,
+            schemes: vec![ControllerKind::Dolos(dolos_core::MiSuKind::Full)],
+            workloads: vec![WorkloadKind::Hashmap],
+            ..ProfileConfig::default()
+        };
+        let serial = run_profile(&config).to_json();
+        assert!(serial.contains("\"banks\":4"), "{serial}");
+        config.jobs = 3;
+        assert_eq!(run_profile(&config).to_json(), serial);
     }
 
     #[test]

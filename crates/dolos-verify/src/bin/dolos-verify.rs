@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! dolos-verify campaign [--seed N] [--traces N] [--rounds N] [--txns N]
-//!                       [--keyspace N] [--no-tamper] [--jobs N]
+//!                       [--keyspace N] [--no-tamper] [--banks N] [--jobs N]
 //!                       [--json PATH] [--quiet]
 //! dolos-verify replay <scenario> [--scheme NAME]
 //!
@@ -23,7 +23,7 @@ use dolos_verify::{run_scenario, run_verify, Scenario, VerifyConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: dolos-verify campaign [--seed N] [--traces N] [--rounds N] [--txns N] \
-         [--keyspace N] [--no-tamper] [--jobs N] [--json PATH] [--quiet]\n\
+         [--keyspace N] [--no-tamper] [--banks N] [--jobs N] [--json PATH] [--quiet]\n\
          \x20      dolos-verify replay <scenario> [--scheme NAME]"
     );
     std::process::exit(2);
@@ -47,6 +47,7 @@ fn campaign(args: &[String]) -> ExitCode {
             "--txns" => config.txns_per_round = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--keyspace" => config.keyspace = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--no-tamper" => config.tamper = false,
+            "--banks" => config.banks = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--jobs" => config.jobs = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--json" => json_path = Some(value(&mut i)),
             "--quiet" => quiet = true,

@@ -23,7 +23,7 @@
 //! minimal replayable reproducer.
 
 use dolos_chaos::shrink_with;
-use dolos_core::{ControllerConfig, SecureMemorySystem};
+use dolos_core::{ControllerConfig, ControllerKind, SecureMemorySystem};
 use dolos_sim::rng::XorShift;
 use dolos_sim::table::Table;
 use dolos_sim::Cycle;
@@ -46,6 +46,10 @@ pub struct VerifyConfig {
     pub keyspace: u64,
     /// Whether final rounds may tamper with NVM while crashed.
     pub tamper: bool,
+    /// NVM bank count every scheme runs with (power of two). The default
+    /// `1` reproduces the single-queue campaign byte for byte; higher
+    /// counts additionally schedule per-bank torn-dump tampers.
+    pub banks: usize,
     /// Worker threads (0 = auto). Any value produces the identical report,
     /// byte for byte.
     pub jobs: usize,
@@ -60,6 +64,7 @@ impl Default for VerifyConfig {
             txns_per_round: 6,
             keyspace: 32,
             tamper: true,
+            banks: 1,
             jobs: 1,
         }
     }
@@ -72,6 +77,7 @@ impl VerifyConfig {
             txns_per_round: self.txns_per_round,
             keyspace: self.keyspace,
             tamper: self.tamper,
+            banks: self.banks,
         }
     }
 }
@@ -354,16 +360,37 @@ fn fresh_latency_probe(config: &ControllerConfig) -> u64 {
 /// The burst is issued at cycle zero, but each accepted insert still
 /// advances the drain engine to its own completion time — with Table-1
 /// MAC latencies a 16-write Full burst spans 5 120 cycles, long enough
-/// for the first drains to finish and free slots. Probing with the MAC
-/// latency collapsed to one cycle keeps the whole burst inside the first
-/// drain's fixed-cycle cache-miss window, so no slot frees mid-burst and
-/// the count is exactly the usable queue depth. Queue capacity itself is
-/// structural ([`ControllerConfig::usable_wpq_entries`] never reads the
-/// latency model), so the override does not perturb what is measured.
-fn capacity_probe(config: &ControllerConfig) -> usize {
-    let mut sys = SecureMemorySystem::new(config.clone().with_mac_latency(1));
+/// for the first drains to finish and free slots. The probe therefore
+/// bends the latency model at both ends: the MAC latency collapses to
+/// one cycle so the insert window shrinks to two cycles per write, and
+/// the Ma-SU AES latency inflates so no accepted drain can complete
+/// inside any burst. Both are needed — banking multiplies the burst
+/// length (`8 × 16` Full writes span ~258 cycles even at MAC = 1, past
+/// the counter-hit drain path), so collapsing the insert side alone lets
+/// slots free mid-burst and overcounts. The Mi-SU front end XORs
+/// pregenerated pads and never reads the AES latency, so insert timing
+/// is untouched. The one exemption is the eager baseline: it runs the
+/// full Ma-SU pipeline *before* the WPQ, so AES sits on its insert path
+/// and the override would distort exactly what the row reports — it
+/// keeps the stock AES latency, which is sound because its capacity
+/// invariant is only a lower bound. Queue capacity itself is structural
+/// ([`ControllerConfig::usable_wpq_entries`] never reads the latency
+/// model), so the overrides do not perturb what is measured.
+///
+/// Public so capacity pins elsewhere (the root `wpq_capacity` suite sweeps
+/// it over bank counts) reuse this probe instead of duplicating it. The
+/// burst bound scales with [`ControllerConfig::total_physical_wpq_entries`],
+/// so banked configurations saturate every shard: the probe's distinct
+/// line addresses stripe across all banks and the count converges to
+/// `banks ×` the per-bank usable depth.
+pub fn capacity_probe(config: &ControllerConfig) -> usize {
+    let mut probe = config.clone().with_mac_latency(1);
+    if !matches!(probe.kind, ControllerKind::PreWpqSecure) {
+        probe = probe.with_aes_latency(1 << 30);
+    }
+    let mut sys = SecureMemorySystem::new(probe);
     let mut accepted = 0;
-    for i in 0..(config.physical_wpq_entries as u64 * 4) {
+    for i in 0..(config.total_physical_wpq_entries() as u64 * 4) {
         sys.persist_write(Cycle::ZERO, i * 64, &[0xA5; 64]);
         if sys.retries() > 0 {
             break;
@@ -520,6 +547,7 @@ mod tests {
             txns_per_round: 4,
             keyspace: 24,
             tamper: true,
+            banks: 1,
             jobs: 1,
         }
     }

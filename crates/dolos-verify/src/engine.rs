@@ -149,6 +149,9 @@ fn render_line_prefix(line: &Line) -> String {
 /// Replays `scenario` on one scheme, checking every obligation against the
 /// shared model. Deterministic: equal inputs give equal observations.
 pub fn run_scheme(config: &ControllerConfig, scenario: &Scenario) -> SchemeObservation {
+    // The scenario's bank axis applies uniformly: every scheme replays the
+    // stream on the same NVM geometry (banks=1 leaves the config untouched).
+    let config = config.clone().with_banks(scenario.banks.max(1));
     let secure = !matches!(config.kind, ControllerKind::IdealNonSecure);
     let mut sys = SecureMemorySystem::new(config.clone());
     let layout = *sys.layout();
@@ -170,7 +173,10 @@ pub fn run_scheme(config: &ControllerConfig, scenario: &Scenario) -> SchemeObser
 
         // Stale-epoch snapshot for a scheduled torn dump, taken before this
         // round's crash overwrites the region.
-        let dump_snapshot = if matches!(round.tamper, Some(TamperSpec::TornDump { .. })) {
+        let dump_snapshot = if matches!(
+            round.tamper,
+            Some(TamperSpec::TornDump { .. } | TamperSpec::TornBank { .. })
+        ) {
             let (start, end) = layout.region_range(MetaRegion::WpqDump);
             sys.nvm().snapshot_range(start, end)
         } else {
@@ -267,7 +273,13 @@ pub fn run_scheme(config: &ControllerConfig, scenario: &Scenario) -> SchemeObser
 
         // --- adversarial window ---
         let tampered = match round.tamper {
-            Some(spec) => apply_tamper(sys.nvm_mut(), &layout, spec, &dump_snapshot),
+            Some(spec) => apply_tamper(
+                sys.nvm_mut(),
+                &layout,
+                spec,
+                &dump_snapshot,
+                config.usable_wpq_entries(),
+            ),
             None => false,
         };
 
@@ -458,6 +470,7 @@ mod tests {
             let scenario = Scenario {
                 seed: 77,
                 keyspace: 16,
+                banks: 1,
                 rounds: vec![crate::scenario::VerifyRound {
                     txns: 3,
                     fault: Some((point, 0)),
@@ -476,6 +489,103 @@ mod tests {
     }
 
     #[test]
+    fn conformance_holds_on_both_bank_axes() {
+        // The acknowledged-write oracle and the cross-scheme cut-position
+        // identity are geometry-independent claims: they must hold whether
+        // the WPQ is one queue or four shards. Same seeds, both axes.
+        for banks in [1, 4] {
+            let config = ScenarioConfig {
+                tamper: false,
+                banks,
+                ..ScenarioConfig::default()
+            };
+            for seed in 0..6 {
+                let scenario = Scenario::generate(seed, &config);
+                assert_eq!(scenario.banks, banks);
+                let verdict = run_scenario(&scenario);
+                assert!(
+                    verdict.pass(),
+                    "banks={banks} {}: {:?}",
+                    verdict.scenario,
+                    verdict.first_failure()
+                );
+                for obs in &verdict.observations {
+                    assert!(obs.commits > 0, "banks={banks} {}", obs.scheme);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bank_axis_preserves_commit_counts_per_seed() {
+        // Banking changes *when* drains retire, never *which* persists are
+        // acknowledged: with no mid-stream cut, a seed's commit total is
+        // identical at banks=1 and banks=4 for every scheme.
+        let base = ScenarioConfig {
+            tamper: false,
+            ..ScenarioConfig::default()
+        };
+        for seed in 0..4 {
+            let single = run_scenario(&Scenario::generate(seed, &base));
+            let banked = run_scenario(&Scenario::generate(
+                seed,
+                &ScenarioConfig { banks: 4, ..base },
+            ));
+            assert!(single.pass() && banked.pass(), "seed {seed}");
+            for (a, b) in single.observations.iter().zip(&banked.observations) {
+                assert_eq!(a.scheme, b.scheme);
+                assert_eq!(a.commits, b.commits, "seed {seed} {}", a.scheme);
+                assert_eq!(a.fired, b.fired, "seed {seed} {}", a.scheme);
+            }
+        }
+    }
+
+    #[test]
+    fn torn_bank_tamper_is_detected_by_every_misu_scheme() {
+        // Round 0 crashes with a loaded queue, so every Mi-SU scheme dumps
+        // a first-epoch image; round 1 crashes again and the tamper rewinds
+        // bank 1's entire shard to that stale image. The victim slots fail
+        // MAC/root verification on every dolos scheme; the schemes without
+        // a dump region have nothing to tear and skip the tamper.
+        let cut = crate::scenario::VerifyRound {
+            txns: 6,
+            fault: Some((dolos_core::inject::InjectionPoint::WpqInsert, 7)),
+            quiesce: false,
+            nested: None,
+            tamper: None,
+        };
+        let scenario = Scenario {
+            seed: 3,
+            keyspace: 16,
+            banks: 4,
+            rounds: vec![
+                cut.clone(),
+                crate::scenario::VerifyRound {
+                    tamper: Some(TamperSpec::TornBank { bank: 1, drop: 13 }),
+                    ..cut
+                },
+            ],
+        };
+        let verdict = run_scenario(&scenario);
+        assert!(verdict.pass(), "{:?}", verdict.first_failure());
+        for obs in &verdict.observations {
+            if obs.scheme.starts_with("dolos-") {
+                assert!(
+                    obs.tamper_detected,
+                    "{}: expected torn-bank detection, got {obs:?}",
+                    obs.scheme
+                );
+            } else {
+                assert!(
+                    !obs.tamper_detected && !obs.tamper_absorbed,
+                    "{}: {obs:?}",
+                    obs.scheme
+                );
+            }
+        }
+    }
+
+    #[test]
     fn dump_tamper_is_detected_by_every_misu_scheme() {
         // Cut at a WPQ insert so the queue is guaranteed non-empty at the
         // crash. Only the Mi-SU designs materialise a WpqDump region
@@ -485,6 +595,7 @@ mod tests {
         let scenario = Scenario {
             seed: 3,
             keyspace: 16,
+            banks: 1,
             rounds: vec![crate::scenario::VerifyRound {
                 txns: 4,
                 fault: Some((dolos_core::inject::InjectionPoint::WpqInsert, 2)),

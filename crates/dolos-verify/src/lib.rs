@@ -34,8 +34,8 @@ pub mod engine;
 pub mod scenario;
 
 pub use campaign::{
-    run_metamorphic, run_verify, FailureCase, MetamorphicReport, MetamorphicRow, SchemeSummary,
-    VerifyConfig, VerifyReport,
+    capacity_probe, run_metamorphic, run_verify, FailureCase, MetamorphicReport, MetamorphicRow,
+    SchemeSummary, VerifyConfig, VerifyReport,
 };
 pub use engine::{
     build_round_ops, run_scenario, run_scheme, verify_schemes, EngineOp, ScenarioVerdict,

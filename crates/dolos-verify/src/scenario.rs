@@ -52,6 +52,11 @@ pub struct Scenario {
     pub seed: u64,
     /// Data lines addressable by the generated transactions.
     pub keyspace: u64,
+    /// NVM bank count every scheme runs with (power of two). `1` is the
+    /// paper's single-queue model; the rendered form only carries the
+    /// token when it differs, so single-bank scenario strings (and the
+    /// campaign reports built from them) are unchanged.
+    pub banks: usize,
     /// Crash rounds, executed in order against one system instance.
     pub rounds: Vec<VerifyRound>,
 }
@@ -67,6 +72,10 @@ pub struct ScenarioConfig {
     pub keyspace: u64,
     /// Whether the final round may tamper with NVM while crashed.
     pub tamper: bool,
+    /// NVM bank count the generated scenarios run with. At `1` (the
+    /// default) generation is bit-identical to the pre-bank generator; at
+    /// higher counts tamper rounds may also tear a single bank's dump.
+    pub banks: usize,
 }
 
 impl Default for ScenarioConfig {
@@ -76,6 +85,7 @@ impl Default for ScenarioConfig {
             txns_per_round: 6,
             keyspace: 32,
             tamper: true,
+            banks: 1,
         }
     }
 }
@@ -117,6 +127,13 @@ impl Scenario {
                         pick: rng.next_u64(),
                         bit: rng.next_below(512) as u32,
                     }
+                // Short-circuit keeps the banks=1 rng stream — and thus
+                // every generated single-bank scenario — bit-identical.
+                } else if config.banks > 1 && rng.chance(0.5) {
+                    TamperSpec::TornBank {
+                        bank: rng.next_below(config.banks as u64) as usize,
+                        drop: 1 + rng.next_below(3) as usize,
+                    }
                 } else {
                     TamperSpec::TornDump {
                         drop: 1 + rng.next_below(3) as usize,
@@ -136,6 +153,7 @@ impl Scenario {
         Self {
             seed,
             keyspace: config.keyspace.max(1),
+            banks: config.banks.max(1),
             rounds: out,
         }
     }
@@ -143,7 +161,11 @@ impl Scenario {
 
 impl fmt::Display for Scenario {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "seed={};keys={};[", self.seed, self.keyspace)?;
+        write!(f, "seed={};keys={}", self.seed, self.keyspace)?;
+        if self.banks != 1 {
+            write!(f, ";banks={}", self.banks)?;
+        }
+        f.write_str(";[")?;
         for (i, round) in self.rounds.iter().enumerate() {
             if i > 0 {
                 f.write_str(";")?;
@@ -163,6 +185,7 @@ impl fmt::Display for Scenario {
                     write!(f, "+flip({},{pick},{bit})", region.name())?;
                 }
                 Some(TamperSpec::TornDump { drop }) => write!(f, "+torn({drop})")?,
+                Some(TamperSpec::TornBank { bank, drop }) => write!(f, "+tornb({bank},{drop})")?,
                 None => {}
             }
         }
@@ -255,6 +278,17 @@ fn parse_round(text: &str) -> Result<VerifyRound, ParseScenarioError> {
                 return Err(ParseScenarioError::new("flip takes three arguments"));
             }
             round.tamper = Some(TamperSpec::FlipBit { region, pick, bit });
+        } else if let Some(args) = token
+            .strip_prefix("tornb(")
+            .and_then(|t| t.strip_suffix(')'))
+        {
+            let (bank, drop) = args
+                .split_once(',')
+                .ok_or_else(|| ParseScenarioError::new("tornb takes two arguments"))?;
+            round.tamper = Some(TamperSpec::TornBank {
+                bank: parse_num(bank, "tornb bank")?,
+                drop: parse_num(drop, "tornb drop count")?,
+            });
         } else if let Some(drop) = token
             .strip_prefix("torn(")
             .and_then(|t| t.strip_suffix(')'))
@@ -280,9 +314,15 @@ impl FromStr for Scenario {
         let (seed, rest) = rest
             .split_once(";keys=")
             .ok_or_else(|| ParseScenarioError::new("expected ;keys=<N>"))?;
-        let (keys, rounds) = rest
+        let (head, rounds) = rest
             .split_once(";[")
             .ok_or_else(|| ParseScenarioError::new("expected ;[rounds]"))?;
+        // Optional bank token between the keyspace and the round list; its
+        // absence means the single-bank model.
+        let (keys, banks) = match head.split_once(";banks=") {
+            Some((keys, banks)) => (keys, parse_num(banks, "banks")?),
+            None => (head, 1),
+        };
         let rounds = rounds
             .strip_suffix(']')
             .ok_or_else(|| ParseScenarioError::new("unterminated round list"))?;
@@ -299,6 +339,7 @@ impl FromStr for Scenario {
         Ok(Scenario {
             seed: parse_num(seed, "seed")?,
             keyspace: parse_num(keys, "keyspace")?,
+            banks,
             rounds: parsed,
         })
     }
@@ -307,6 +348,14 @@ impl FromStr for Scenario {
 impl Shrinkable for Scenario {
     fn candidates(&self) -> Vec<Self> {
         let mut out = Vec::new();
+        // Bank-dependent failures should first prove they need the banking:
+        // collapsing to the single-queue model is the most aggressive
+        // simplification of all.
+        if self.banks > 1 {
+            let mut s = self.clone();
+            s.banks = 1;
+            out.push(s);
+        }
         if self.rounds.len() > 1 {
             for i in 0..self.rounds.len() {
                 let mut s = self.clone();
@@ -335,6 +384,26 @@ impl Shrinkable for Scenario {
                 let mut s = self.clone();
                 s.rounds[i].tamper = None;
                 out.push(s);
+            }
+            // Mirror dolos-chaos: a per-bank tear degrades to the
+            // whole-dump tear, then toward bank 0 and fewer dropped lines.
+            if let Some(TamperSpec::TornBank { bank, drop }) = round.tamper {
+                let mut s = self.clone();
+                s.rounds[i].tamper = Some(TamperSpec::TornDump { drop });
+                out.push(s);
+                if bank > 0 {
+                    let mut s = self.clone();
+                    s.rounds[i].tamper = Some(TamperSpec::TornBank { bank: 0, drop });
+                    out.push(s);
+                }
+                if drop > 1 {
+                    let mut s = self.clone();
+                    s.rounds[i].tamper = Some(TamperSpec::TornBank {
+                        bank,
+                        drop: drop / 2,
+                    });
+                    out.push(s);
+                }
             }
             if round.fault.is_some() {
                 let mut s = self.clone();
@@ -419,6 +488,7 @@ mod tests {
         let scenario = Scenario {
             seed: 7,
             keyspace: 32,
+            banks: 1,
             rounds: vec![
                 VerifyRound {
                     txns: 4,
@@ -446,6 +516,100 @@ mod tests {
             "seed=7;keys=32;[t4@wpq-insert#9+q+n#1;t2+flip(data,0,9)]"
         );
         assert_eq!(text.parse::<Scenario>().ok(), Some(scenario));
+    }
+
+    #[test]
+    fn banked_rendering_is_pinned_and_round_trips() {
+        let scenario = Scenario {
+            seed: 5,
+            keyspace: 16,
+            banks: 4,
+            rounds: vec![VerifyRound {
+                txns: 3,
+                fault: Some((InjectionPoint::WpqInsert, 2)),
+                quiesce: false,
+                nested: None,
+                tamper: Some(TamperSpec::TornBank { bank: 2, drop: 1 }),
+            }],
+        };
+        let text = scenario.to_string();
+        assert_eq!(text, "seed=5;keys=16;banks=4;[t3@wpq-insert#2+tornb(2,1)]");
+        assert_eq!(text.parse::<Scenario>().ok(), Some(scenario));
+    }
+
+    #[test]
+    fn banked_generation_round_trips_and_single_bank_is_unchanged() {
+        let banked = ScenarioConfig {
+            rounds: 3,
+            banks: 4,
+            ..ScenarioConfig::default()
+        };
+        let mut torn_banks = 0;
+        for seed in 0..300 {
+            let scenario = Scenario::generate(seed, &banked);
+            assert_eq!(scenario.banks, 4);
+            let text = scenario.to_string();
+            let parsed: Scenario = text.parse().unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert_eq!(parsed, scenario, "{text}");
+            if let Some(TamperSpec::TornBank { bank, .. }) =
+                scenario.rounds.last().and_then(|r| r.tamper)
+            {
+                assert!(bank < 4, "{text}");
+                torn_banks += 1;
+            }
+        }
+        assert!(torn_banks > 0, "banked sweeps must schedule per-bank tears");
+        // Single-bank generation never schedules the banked tamper class
+        // and renders without the banks token, so pre-bank scenario strings
+        // and campaign reports are byte-for-byte reproducible.
+        let single = ScenarioConfig {
+            rounds: 3,
+            ..ScenarioConfig::default()
+        };
+        for seed in 0..300 {
+            let scenario = Scenario::generate(seed, &single);
+            assert_eq!(scenario.banks, 1);
+            assert!(!scenario.to_string().contains("banks="));
+            for round in &scenario.rounds {
+                assert!(!matches!(round.tamper, Some(TamperSpec::TornBank { .. })));
+            }
+        }
+    }
+
+    #[test]
+    fn parser_rejects_malformed_bank_tokens() {
+        assert!("seed=1;keys=8;banks=x;[t4]".parse::<Scenario>().is_err());
+        assert!("seed=1;keys=8;[t4+tornb(1)]".parse::<Scenario>().is_err());
+        assert!("seed=1;keys=8;[t4+tornb(a,1)]".parse::<Scenario>().is_err());
+    }
+
+    #[test]
+    fn shrink_collapses_banks_and_per_bank_tears_first() {
+        let scenario = Scenario {
+            seed: 1,
+            keyspace: 8,
+            banks: 4,
+            rounds: vec![VerifyRound {
+                txns: 2,
+                fault: None,
+                quiesce: false,
+                nested: None,
+                tamper: Some(TamperSpec::TornBank { bank: 3, drop: 2 }),
+            }],
+        };
+        let candidates = scenario.candidates();
+        assert_eq!(candidates[0].banks, 1, "banks collapse first");
+        assert!(candidates
+            .iter()
+            .any(|c| matches!(c.rounds[0].tamper, Some(TamperSpec::TornDump { drop: 2 }))));
+        assert!(candidates.iter().any(|c| matches!(
+            c.rounds[0].tamper,
+            Some(TamperSpec::TornBank { bank: 0, drop: 2 })
+        )));
+        assert!(candidates.iter().any(|c| matches!(
+            c.rounds[0].tamper,
+            Some(TamperSpec::TornBank { bank: 3, drop: 1 })
+        )));
     }
 
     #[test]

@@ -1,0 +1,222 @@
+//! End-to-end properties of the banked NVM backend, over the public
+//! workspace API.
+//!
+//! The component-level lockstep lives next to the code it checks
+//! (`crates/dolos-nvm/tests/bankset_props.rs` for the shard set, the
+//! `reference_drain` module in dolos-core for the scheduler). This suite
+//! pins what those cannot see: that whole seeded workloads behave
+//! identically at `banks = 1`, that the bank axis never changes *what* the
+//! schemes compute — only *when* drains complete — and that the promised
+//! memory-level parallelism actually materializes as simulated-cycle
+//! savings on drain-bound streams.
+
+use dolos::core::{ControllerConfig, MiSuKind, UpdateScheme};
+use dolos::sim::trace::{EventKind, TraceMode};
+use dolos::whisper::runner::{run_workload, RunConfig};
+use dolos::whisper::workloads::WorkloadKind;
+
+#[cfg(debug_assertions)]
+const SCALE: (usize, usize) = (24, 4);
+#[cfg(not(debug_assertions))]
+const SCALE: (usize, usize) = (120, 16);
+
+fn rc() -> RunConfig {
+    RunConfig {
+        transactions: SCALE.0,
+        txn_bytes: 1024,
+        warmup: SCALE.1,
+        ..RunConfig::default()
+    }
+}
+
+/// A drain-bound stream: no client think time between transactions and
+/// double-width payloads, so persists arrive faster than a single bank can
+/// retire them and the WPQ genuinely backs up (retries > 0 at one bank).
+fn drain_bound_rc() -> RunConfig {
+    RunConfig {
+        txn_bytes: 2048,
+        think_ops_per_txn: Some(0),
+        ..rc()
+    }
+}
+
+fn all_schemes() -> [ControllerConfig; 5] {
+    [
+        ControllerConfig::ideal(),
+        ControllerConfig::baseline(),
+        ControllerConfig::dolos(MiSuKind::Full),
+        ControllerConfig::dolos(MiSuKind::Partial),
+        ControllerConfig::dolos(MiSuKind::Post),
+    ]
+}
+
+#[test]
+fn explicit_banks_one_is_byte_identical_to_the_default_model() {
+    // `with_banks(1)` must be the default model exactly — same cycles, same
+    // full statistics snapshot — so the banked machinery at one bank *is*
+    // the pre-bank code path, not a near miss of it.
+    for config in all_schemes() {
+        let name = config.kind.name();
+        let default = run_workload(WorkloadKind::Hashmap, config.clone(), &rc());
+        let explicit = run_workload(WorkloadKind::Hashmap, config.with_banks(1), &rc());
+        assert_eq!(default.cycles, explicit.cycles, "{name}");
+        assert_eq!(default.stats, explicit.stats, "{name}");
+    }
+}
+
+#[test]
+fn bank_axis_preserves_scheme_semantics() {
+    // Banking reshuffles drain timing; it must never change the work
+    // performed. Same seed, same scheme: the persist stream and the retired
+    // instruction count are identical at one and four banks. Coalescing
+    // windows *do* shift — overlapped drains retire entries sooner, so a
+    // write that coalesced at one bank may insert fresh at four — but every
+    // acknowledged persist is exactly one insert or one coalesce, so the
+    // sum is conserved.
+    for config in all_schemes() {
+        let name = config.kind.name();
+        let one = run_workload(WorkloadKind::Ctree, config.clone().with_banks(1), &rc());
+        let four = run_workload(WorkloadKind::Ctree, config.with_banks(4), &rc());
+        assert_eq!(one.persists, four.persists, "{name}");
+        assert_eq!(one.instructions, four.instructions, "{name}");
+        assert_eq!(
+            one.stats.get("ctrl.persists"),
+            four.stats.get("ctrl.persists"),
+            "{name}"
+        );
+        let traffic = |r: &dolos::whisper::runner::RunResult| {
+            r.stats.get("wpq.inserts").unwrap_or(0.0) + r.stats.get("wpq.coalesces").unwrap_or(0.0)
+        };
+        assert_eq!(
+            traffic(&one),
+            traffic(&four),
+            "{name} insert+coalesce total"
+        );
+    }
+}
+
+#[test]
+fn banked_capacity_is_visible_end_to_end() {
+    // The merged WPQ statistics report the summed shard capacity, and the
+    // usable-entry arithmetic scales per bank (4 × 13, not usable(52)).
+    let one = run_workload(
+        WorkloadKind::Hashmap,
+        ControllerConfig::dolos(MiSuKind::Partial).with_banks(1),
+        &rc(),
+    );
+    let four = run_workload(
+        WorkloadKind::Hashmap,
+        ControllerConfig::dolos(MiSuKind::Partial).with_banks(4),
+        &rc(),
+    );
+    assert_eq!(one.stats.get("wpq.capacity"), Some(13.0));
+    assert_eq!(four.stats.get("wpq.capacity"), Some(4.0 * 13.0));
+}
+
+#[test]
+fn banks_never_slow_a_scheme_down_and_relieve_drain_pressure() {
+    // More banks strictly add drain slots and per-bank clamps only get
+    // looser, so simulated cycles must be monotone non-increasing in the
+    // bank count for every scheme, and retries must not grow.
+    for config in all_schemes() {
+        let name = config.kind.name();
+        let mut last_cycles = u64::MAX;
+        let mut last_retries = u64::MAX;
+        for banks in [1usize, 2, 4] {
+            let r = run_workload(
+                WorkloadKind::Hashmap,
+                config.clone().with_banks(banks),
+                &rc(),
+            );
+            assert!(
+                r.cycles <= last_cycles,
+                "{name}: {banks} banks ran {} > {last_cycles} cycles",
+                r.cycles
+            );
+            assert!(
+                r.retries <= last_retries,
+                "{name}: {banks} banks retried {} > {last_retries}",
+                r.retries
+            );
+            last_cycles = r.cycles;
+            last_retries = r.retries;
+        }
+    }
+}
+
+#[test]
+fn four_banks_overlap_drains_on_the_drain_bound_condition() {
+    // The fig16 lazy-scheme condition is drain-bound: the Ma-SU pipeline
+    // is cheap, so the old global one-at-a-time retire loop is the
+    // bottleneck. Four banks must overlap those drains for a measurable
+    // speedup — the acceptance floor for the whole tentpole.
+    let config = ControllerConfig::dolos(MiSuKind::Full).with_scheme(UpdateScheme::LazyToc);
+    let rc = drain_bound_rc();
+    let one = run_workload(WorkloadKind::Hashmap, config.clone().with_banks(1), &rc);
+    assert!(
+        one.retries > 0,
+        "the condition must back up the single-bank WPQ"
+    );
+    let four = run_workload(WorkloadKind::Hashmap, config.with_banks(4), &rc);
+    let speedup = one.cycles as f64 / four.cycles as f64;
+    assert!(
+        speedup >= 1.2,
+        "banks=4 speedup {speedup:.3} below the 1.2x floor ({} vs {})",
+        one.cycles,
+        four.cycles
+    );
+}
+
+#[test]
+fn bank_busy_events_appear_only_on_banked_runs() {
+    // The BankBusy trace event marks an entry that was ready to drain while
+    // its bank was still busy with the previous drain. At one bank that wait
+    // is the old global serialization and stays silent (byte-identical
+    // traces); at four banks contended shards must surface it, tagged with
+    // an in-range bank index.
+    let traced = |banks: usize| {
+        run_workload(
+            WorkloadKind::Hashmap,
+            ControllerConfig::dolos(MiSuKind::Full)
+                .with_banks(banks)
+                .with_trace(TraceMode::Record),
+            &drain_bound_rc(),
+        )
+    };
+    let one = traced(1);
+    assert!(
+        one.trace_events
+            .iter()
+            .all(|e| e.kind != EventKind::BankBusy),
+        "banks=1 must not emit BankBusy"
+    );
+    let four = traced(4);
+    let busy: Vec<_> = four
+        .trace_events
+        .iter()
+        .filter(|e| e.kind == EventKind::BankBusy)
+        .collect();
+    assert!(!busy.is_empty(), "banks=4 never clamped a drain");
+    assert!(busy.iter().all(|e| e.addr < 4), "bank index out of range");
+}
+
+#[test]
+fn banked_runs_are_deterministic() {
+    // Two identical banked runs agree byte for byte — statistics and the
+    // full trace stream — so every property above is a statement about the
+    // model, not about one lucky execution.
+    let run = || {
+        run_workload(
+            WorkloadKind::Rbtree,
+            ControllerConfig::dolos(MiSuKind::Post)
+                .with_banks(4)
+                .with_trace(TraceMode::Record),
+            &rc(),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.trace_events, b.trace_events);
+}

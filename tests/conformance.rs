@@ -6,7 +6,7 @@
 //! byte-identical at any parallelism, and a deliberately-tampered run is
 //! caught and shrunk to a minimal replayable reproducer.
 
-use dolos_chaos::shrink_with;
+use dolos_chaos::{shrink_with, TamperSpec};
 use dolos_verify::{run_scenario, run_verify, Scenario, ScenarioConfig, VerifyConfig};
 
 fn smoke_config() -> VerifyConfig {
@@ -99,6 +99,59 @@ fn tamper_is_caught_and_shrunk_to_a_pinned_replayable_repro() {
     // Replayable: the rendered form round-trips through the parser and
     // still reproduces the detection — exactly what `dolos-verify replay`
     // does with a failure report line.
+    let replayed: Scenario = minimal
+        .to_string()
+        .parse()
+        .expect("pinned reproducer must parse");
+    assert_eq!(replayed, minimal);
+    assert!(caught(&replayed));
+}
+
+#[test]
+fn torn_bank_tamper_is_caught_and_shrunk_to_a_pinned_replayable_repro() {
+    // Bank-axis sibling of the flip pin above: at four banks the generator
+    // may tear a single bank's dump shard while the system is down. The
+    // predicate keeps the shrinker inside the banked class — it must stay
+    // multi-bank and keep a per-bank tear (otherwise the engine's
+    // `tornb → torn` and `banks → 1` candidates would collapse the repro
+    // into the whole-queue case the existing pin already covers).
+    let torn_bank = |s: &Scenario| {
+        s.rounds
+            .iter()
+            .any(|r| matches!(r.tamper, Some(TamperSpec::TornBank { .. })))
+    };
+    let caught = |s: &Scenario| {
+        if s.banks <= 1 || !torn_bank(s) {
+            return false;
+        }
+        let verdict = run_scenario(s);
+        verdict.pass()
+            && verdict
+                .observations
+                .iter()
+                .filter(|o| o.scheme.starts_with("dolos-"))
+                .all(|o| o.tamper_detected)
+    };
+
+    let config = ScenarioConfig {
+        banks: 4,
+        ..ScenarioConfig::default()
+    };
+    let scenario = Scenario::generate(212, &config);
+    assert!(
+        caught(&scenario),
+        "seed 212 must schedule a detectable per-bank tear"
+    );
+
+    let minimal = shrink_with(&scenario, caught);
+    // Pinned minimal reproducer: one priming round to leave a stale dump
+    // epoch behind, then a single-transaction round whose only adversarial
+    // act is tearing one payload line of bank 0's shard.
+    assert_eq!(
+        minimal.to_string(),
+        "seed=212;keys=32;banks=4;[t1;t1+tornb(0,1)]"
+    );
+
     let replayed: Scenario = minimal
         .to_string()
         .parse()

@@ -71,6 +71,37 @@ fn configured_capacity_survives_a_physical_resize() {
 }
 
 #[test]
+fn burst_capacity_scales_per_bank_across_the_bank_sweep() {
+    // Banking multiplies the paper's figures shard-wise: at `b` banks the
+    // behavioral burst capacity is `b ×` the per-bank usable depth
+    // (4 × 13 = 52 for Partial — NOT usable(4 × 16) = 57, because each
+    // shard reserves its own §5.2.1 drain-MAC energy). Measured with the
+    // same MAC-latency-collapsed probe the dolos-verify metamorphic
+    // campaign uses, so the behavioral pin and the campaign can never
+    // drift apart.
+    use dolos_verify::capacity_probe;
+    for banks in [1usize, 2, 4, 8] {
+        for (kind, per_bank) in [
+            (MiSuKind::Full, 16),
+            (MiSuKind::Partial, 13),
+            (MiSuKind::Post, 10),
+        ] {
+            let config = ControllerConfig::dolos(kind).with_banks(banks);
+            assert_eq!(
+                config.total_usable_wpq_entries(),
+                banks * per_bank,
+                "{kind:?} at {banks} banks (configured)"
+            );
+            assert_eq!(
+                capacity_probe(&config),
+                banks * per_bank,
+                "{kind:?} at {banks} banks (measured burst)"
+            );
+        }
+    }
+}
+
+#[test]
 fn write_queue_allocates_exactly_the_usable_entries() {
     for (kind, expected) in [
         (MiSuKind::Full, 16),
