@@ -133,6 +133,11 @@ impl Config {
             strict_panic_files: to_vec(&[
                 "dolos-core/src/masu.rs",
                 "dolos-nvm/src/bank.rs",
+                // The work-stealing claim queue and the Ma-SU pad cache: a
+                // panic in either corrupts a whole sweep or the decrypt
+                // path, so no budgeted sites are tolerated.
+                "dolos-sim/src/queue.rs",
+                "dolos-crypto/src/padcache.rs",
                 "dolos-whisper/src/oracle.rs",
                 "dolos-chaos/src/driver.rs",
                 "dolos-chaos/src/campaign.rs",

@@ -481,19 +481,41 @@ fn graft_rederiving_debug_on_aes128_fires_secret_flow() {
 
 #[test]
 fn graft_allocating_pad_path_fires_hot_alloc() {
-    // Re-introduce a per-write allocation into the Ma-SU pad pipeline; the
-    // audit must name it and explain the path from a hot root.
+    // Re-introduce a per-write allocation into the Ma-SU pad pipeline — now
+    // the pad-cache miss path in dolos-crypto, reached from the hot root
+    // `MajorSecurityUnit::pad_for`; the audit must name it and explain the
+    // cross-crate path from that root.
     let report = grafted_workspace(
-        "dolos-core/src/masu.rs",
-        "pad_line(&self.aes, &iv)",
-        "let _scratch = iv.to_vec();\n        pad_line(&self.aes, &iv)",
+        "dolos-crypto/src/padcache.rs",
+        "let pad = pad_line(key, &iv);",
+        "let _scratch = iv.to_vec();\n        let pad = pad_line(key, &iv);",
     );
     let hit = report
         .findings
         .iter()
-        .find(|f| f.lint == "hot-alloc" && f.file.ends_with("masu.rs"));
+        .find(|f| f.lint == "hot-alloc" && f.file.ends_with("padcache.rs"));
     let hit = hit.unwrap_or_else(|| panic!("expected hot-alloc:\n{}", report.to_text()));
     assert!(hit.message.contains("to_vec"), "{}", hit.message);
+}
+
+#[test]
+fn graft_panic_in_claim_queue_fires_strict_panic() {
+    // The work-stealing claim queue is on the strict-panic list: a single
+    // grafted panic in `claim` must surface as an individual finding, not
+    // disappear into a crate budget.
+    let report = grafted_workspace(
+        "dolos-sim/src/queue.rs",
+        "let block = block.max(1);",
+        "if block == usize::MAX { panic!(\"bad block\"); }\n        let block = block.max(1);",
+    );
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.lint == "panic-path" && f.file.ends_with("queue.rs")),
+        "{}",
+        report.to_text()
+    );
 }
 
 // --- the real workspace ---------------------------------------------------

@@ -6,6 +6,8 @@ use dolos_bench::microbench::{bb, Bench};
 use dolos_crypto::aes::Aes128;
 use dolos_crypto::ctr::{generate_pad, pad_line, xor_in_place, IvBuilder};
 use dolos_crypto::mac::MacEngine;
+use dolos_crypto::padcache::PadCache;
+use dolos_secmem::bmt::BonsaiMerkleTree;
 
 fn main() {
     let mut b = Bench::from_args("crypto");
@@ -45,4 +47,29 @@ fn main() {
         s.part(bb(&line[..8]));
         s.finish()
     });
+
+    // Parent-MAC memoization (DESIGN.md §17). A leaf update only marks its
+    // parent chain dirty; `root` after an update materializes that chain
+    // (the miss path), while `root` on a clean tree returns the memoized
+    // register (the hit path). The gap between these two rows is the host
+    // work the deferral removes from every write that is never observed.
+    let mut tree = BonsaiMerkleTree::new(256, &mac);
+    b.run("mac_cache_parent_miss", || {
+        tree.update_leaf(bb(&mac), 5, bb(&line));
+        tree.root(&mac)
+    });
+    tree.root(&mac);
+    b.run("mac_cache_parent_hit", || tree.root(bb(&mac)));
+
+    // Counter-block pad cache on the Ma-SU read path: a repeated
+    // (address, counter) pair returns the cached pad (hit); a fresh counter
+    // re-runs the AES pad (miss + refill).
+    let mut pads = PadCache::new(256);
+    let mut counter = 0u64;
+    b.run("mac_cache_pad_miss", || {
+        counter += 1;
+        pads.pad(bb(&key), 0x4000, counter)
+    });
+    pads.pad(&key, 0x4000, 7);
+    b.run("mac_cache_pad_hit", || pads.pad(bb(&key), 0x4000, 7));
 }

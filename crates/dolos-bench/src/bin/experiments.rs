@@ -9,9 +9,13 @@
 //!
 //! `bench` runs the selected experiments (default: all), suppresses the
 //! tables, and writes machine-readable throughput numbers to
-//! `BENCH_<YYYY-MM-DD>.json` in the working directory. Tables and the
-//! bench JSON are identical at any `--jobs` value apart from wall-clock
-//! fields: sweep results are merged in cell order, never completion order.
+//! `BENCH_<YYYY-MM-DD>.json` in the working directory. Bench mode flattens
+//! every selected experiment's sweep cells into ONE global list and runs it
+//! longest-cell-first through the work-stealing pool, so slow figures'
+//! stragglers overlap other figures' short cells; per-cell wall times and
+//! the max/mean skew land in each JSON row. Tables and the bench JSON are
+//! identical at any `--jobs` value apart from wall-clock fields: sweep
+//! results are merged in cell order, never completion order.
 //!
 //! `bench --trace` additionally runs the `dolos-trace` mini-bench — every
 //! report scheme × WHISPER workload with event recording on — and appends
@@ -112,30 +116,50 @@ fn main() -> ExitCode {
         }
     }
     let mut entries = Vec::new();
-    for id in selected {
-        let (cells_before, cycles_before) = config.metrics();
-        let start = Instant::now();
-        for (i, table) in config.run(id).into_iter().enumerate() {
-            if !bench {
-                println!("{}", table.render());
-            }
+    if bench {
+        // Flattened sweep: every selected experiment's cells run as one
+        // global longest-hint-first list through the work-stealing pool, so
+        // one figure's stragglers overlap another's short cells. Tables and
+        // all simulated quantities are byte-identical to the sequential
+        // path below; only wall-clock fields differ.
+        for outcome in config.bench_flat(&selected) {
             if let Some(dir) = &csv_dir {
-                let path = format!("{dir}/{}_{i}.csv", id.name());
-                if let Err(e) = std::fs::write(&path, table.to_csv()) {
-                    eprintln!("cannot write {path}: {e}");
-                    return ExitCode::FAILURE;
+                for (i, table) in outcome.tables.iter().enumerate() {
+                    let path = format!("{dir}/{}_{i}.csv", outcome.id.name());
+                    if let Err(e) = std::fs::write(&path, table.to_csv()) {
+                        eprintln!("cannot write {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
                 }
             }
+            eprintln!("[{} done in {:.1}ms]", outcome.id.name(), outcome.wall_ms);
+            entries.push(BenchEntry {
+                name: outcome.id.name().to_owned(),
+                wall_ms: outcome.wall_ms,
+                cells: outcome.cells,
+                sim_cycles: outcome.sim_cycles,
+                cell_wall_ms: outcome.cell_wall_ms,
+            });
         }
-        let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
-        let (cells_after, cycles_after) = config.metrics();
-        entries.push(BenchEntry {
-            name: id.name().to_owned(),
-            wall_ms,
-            cells: cells_after - cells_before,
-            sim_cycles: cycles_after - cycles_before,
-        });
-        eprintln!("[{} done in {:.1}ms]", id.name(), wall_ms);
+    } else {
+        for id in selected {
+            let start = Instant::now();
+            for (i, table) in config.run(id).into_iter().enumerate() {
+                println!("{}", table.render());
+                if let Some(dir) = &csv_dir {
+                    let path = format!("{dir}/{}_{i}.csv", id.name());
+                    if let Err(e) = std::fs::write(&path, table.to_csv()) {
+                        eprintln!("cannot write {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            eprintln!(
+                "[{} done in {:.1}ms]",
+                id.name(),
+                start.elapsed().as_secs_f64() * 1000.0
+            );
+        }
     }
     if bench {
         let trace_rows = if trace {

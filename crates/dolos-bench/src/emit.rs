@@ -21,6 +21,10 @@ pub struct BenchEntry {
     pub cells: u64,
     /// Total simulated cycles across those cells.
     pub sim_cycles: u64,
+    /// Wall milliseconds per sweep cell, in cell order. Empty for direct
+    /// experiments whose work never enters the job pool (their row reports
+    /// `skew` 0).
+    pub cell_wall_ms: Vec<f64>,
 }
 
 impl BenchEntry {
@@ -32,6 +36,24 @@ impl BenchEntry {
         } else {
             self.cells as f64 * 1000.0 / self.wall_ms
         }
+    }
+
+    /// Scheduling skew across this experiment's cells: the longest cell's
+    /// wall time over the mean (1.0 = perfectly uniform). This is the
+    /// number the longest-cell-first flat sweep exists to absorb — a high
+    /// skew experiment wastes pool tails under naive chunking. 0 when no
+    /// per-cell samples exist.
+    pub fn skew(&self) -> f64 {
+        let n = self.cell_wall_ms.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let mean = self.cell_wall_ms.iter().sum::<f64>() / n as f64;
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        let max = self.cell_wall_ms.iter().copied().fold(0.0f64, f64::max);
+        max / mean
     }
 }
 
@@ -96,14 +118,23 @@ impl BenchReport {
         out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
         out.push_str("  \"experiments\": [\n");
         for (i, e) in self.entries.iter().enumerate() {
+            let cell_walls = e
+                .cell_wall_ms
+                .iter()
+                .map(|w| format!("{w:.3}"))
+                .collect::<Vec<_>>()
+                .join(", ");
             out.push_str(&format!(
                 "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"cells\": {}, \
-                 \"sim_cycles\": {}, \"cells_per_sec\": {:.3}}}{}\n",
+                 \"sim_cycles\": {}, \"cells_per_sec\": {:.3}, \"skew\": {:.3}, \
+                 \"cell_wall_ms\": [{}]}}{}\n",
                 e.name,
                 e.wall_ms,
                 e.cells,
                 e.sim_cycles,
                 e.cells_per_sec(),
+                e.skew(),
+                cell_walls,
                 if i + 1 == self.entries.len() { "" } else { "," }
             ));
         }
@@ -222,12 +253,14 @@ mod tests {
                     wall_ms: 2000.0,
                     cells: 20,
                     sim_cycles: 1_000_000,
+                    cell_wall_ms: vec![1500.0, 500.0],
                 },
                 BenchEntry {
                     name: "table2".into(),
                     wall_ms: 500.0,
                     cells: 15,
                     sim_cycles: 600_000,
+                    cell_wall_ms: vec![],
                 },
             ],
             trace: vec![TraceRow {
@@ -247,6 +280,10 @@ mod tests {
         assert!(json.contains("\"sim_cycles\": 1600000"));
         assert!(json.contains("\"cells_per_sec\": 10.000"));
         assert!(json.contains("\"cells_per_sec\": 14.000"));
+        // Per-cell walls and the max/mean skew (1500 / 1000 = 1.5); a row
+        // with no per-cell samples pins skew 0 and an empty array.
+        assert!(json.contains("\"skew\": 1.500, \"cell_wall_ms\": [1500.000, 500.000]"));
+        assert!(json.contains("\"skew\": 0.000, \"cell_wall_ms\": []"));
         assert!(json.contains("\"scheme\": \"dolos-partial\""));
         assert!(json.contains("\"p99\": 640"));
         // Balanced braces/brackets and no trailing comma before a closer.
@@ -270,12 +307,14 @@ mod tests {
                     wall_ms: 123.456,
                     cells: 12,
                     sim_cycles: 5_704_848,
+                    cell_wall_ms: vec![10.0, 20.0],
                 },
                 BenchEntry {
                     name: "table3".into(),
                     wall_ms: 0.043,
                     cells: 0,
                     sim_cycles: 0,
+                    cell_wall_ms: vec![],
                 },
             ],
             trace: vec![],
@@ -288,9 +327,11 @@ mod tests {
         assert!(!golden.contains("date"));
         assert!(!golden.contains("jobs"));
         assert!(!golden.contains("cells_per_sec"));
-        // Wall-clock changes must not move the golden bytes.
+        // Wall-clock changes — totals, per-cell samples, jobs, date — must
+        // not move the golden bytes.
         let mut faster = report.clone();
         faster.entries[0].wall_ms = 1.0;
+        faster.entries[0].cell_wall_ms = vec![0.5, 0.5];
         faster.jobs = 7;
         faster.date = "2031-01-01".into();
         assert_eq!(faster.to_golden(), golden);
@@ -313,12 +354,14 @@ mod tests {
                 wall_ms: 12.5,
                 cells: 3,
                 sim_cycles: 444_000,
+                cell_wall_ms: vec![2.0, 4.0],
             }],
             trace: vec![],
         };
         assert!(report.to_json().contains(
             "{\"name\": \"recovery\", \"wall_ms\": 12.500, \"cells\": 3, \
-             \"sim_cycles\": 444000, \"cells_per_sec\": 240.000}"
+             \"sim_cycles\": 444000, \"cells_per_sec\": 240.000, \"skew\": 1.333, \
+             \"cell_wall_ms\": [2.000, 4.000]}"
         ));
         assert!(report
             .to_golden()
@@ -332,7 +375,28 @@ mod tests {
             wall_ms: 0.0,
             cells: 10,
             sim_cycles: 5,
+            cell_wall_ms: vec![],
         };
         assert_eq!(e.cells_per_sec(), 0.0);
+        assert_eq!(e.skew(), 0.0);
+    }
+
+    #[test]
+    fn skew_is_max_over_mean_and_degenerate_cases_are_zero() {
+        let mut e = BenchEntry {
+            name: "fig12".into(),
+            wall_ms: 60.0,
+            cells: 3,
+            sim_cycles: 9,
+            cell_wall_ms: vec![10.0, 20.0, 30.0],
+        };
+        // max 30 over mean 20.
+        assert!((e.skew() - 1.5).abs() < 1e-12);
+        // Uniform cells: skew exactly 1.
+        e.cell_wall_ms = vec![7.0; 4];
+        assert!((e.skew() - 1.0).abs() < 1e-12);
+        // All-zero samples (clock too coarse): 0, never NaN.
+        e.cell_wall_ms = vec![0.0; 4];
+        assert_eq!(e.skew(), 0.0);
     }
 }

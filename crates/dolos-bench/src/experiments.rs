@@ -1,12 +1,28 @@
 //! The experiment implementations, one per table/figure.
 //!
 //! Every workload × controller sweep is expressed as an ordered list of
-//! `Cell`s and executed through [`dolos_sim::pool::run_indexed`], so the
-//! rendered tables are identical at any `jobs` value: the pool partitions
-//! cells by index and joins workers in order, and each cell is an
-//! independent simulation (no shared mutable state).
+//! `Cell`s and executed through the deterministic work-stealing pool
+//! ([`dolos_sim::pool::run_indexed`]), so the rendered tables are identical
+//! at any `jobs` value: workers claim index blocks from a shared queue but
+//! results land in an index-addressed slab and are merged in cell order,
+//! never completion order.
+//!
+//! Each sweep is split into a *cell builder* and a *renderer* so the two
+//! execution shapes share one implementation:
+//!
+//! * `experiments <id>` runs one experiment's cells through the pool and
+//!   renders immediately ([`ExperimentConfig::run`]);
+//! * `experiments bench` concatenates every selected experiment's cells
+//!   into one global list and runs it through
+//!   [`dolos_sim::pool::run_indexed_weighted`] (longest-cell-first by a
+//!   static cost hint), so one figure's stragglers overlap another's short
+//!   cells instead of serializing behind a per-figure barrier
+//!   ([`ExperimentConfig::bench_flat`]). Results are sliced back per
+//!   experiment by index, so every table and JSON byte matches the
+//!   per-experiment path.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 use dolos_core::{ControllerConfig, MiSuKind, UpdateScheme};
 use dolos_whisper::runner::{run_workload, RunConfig, RunResult};
@@ -96,8 +112,8 @@ impl ExperimentId {
 /// One simulation cell of a sweep: workload × controller × transaction size.
 ///
 /// Cells are fully independent — each builds its own simulated system from
-/// the carried design — which is what makes the index-partitioned pool
-/// sound here.
+/// the carried design — which is what makes the index-addressed pool sound
+/// here.
 struct Cell {
     kind: WorkloadKind,
     design: ControllerConfig,
@@ -117,6 +133,41 @@ impl Cell {
             think_ops: None,
         }
     }
+
+    /// Static host-cost hint for longest-cell-first scheduling in the flat
+    /// bench sweep. A pure function of the cell's parameters — never of a
+    /// measurement — so the schedule is reproducible; and because results
+    /// are index-addressed, even a *bad* hint can only cost wall time,
+    /// never change a byte of output.
+    fn cost_hint(&self) -> u64 {
+        // Bigger transactions write more lines per transaction; drain-bound
+        // cells (think time pinned to zero) stress the WPQ far harder per
+        // byte and historically run several times longer.
+        let think = if self.think_ops == Some(0) { 4 } else { 1 };
+        self.txn_bytes as u64 * think
+    }
+}
+
+/// One experiment's outcome under the flattened bench sweep: the rendered
+/// tables plus the work and wall tallies the JSON report needs.
+pub struct BenchOutcome {
+    /// Which experiment.
+    pub id: ExperimentId,
+    /// Rendered tables (bench mode writes these to `--csv`, not stdout).
+    pub tables: Vec<Table>,
+    /// Cells run (sweep cells, or a direct experiment's own tally).
+    pub cells: u64,
+    /// Simulated cycles across those cells.
+    pub sim_cycles: u64,
+    /// Host wall milliseconds per sweep cell, in cell order. Empty for
+    /// direct (non-sweep) experiments, whose work never enters the pool.
+    pub cell_wall_ms: Vec<f64>,
+    /// Total wall milliseconds attributed to this experiment: the sum of
+    /// its cell walls for sweeps (cells overlap other experiments' cells in
+    /// the flat schedule, so the *sum of per-cell work* is the meaningful
+    /// per-experiment number), or the measured elapsed time for direct
+    /// experiments.
+    pub wall_ms: f64,
 }
 
 /// Shared sweep parameters.
@@ -177,22 +228,27 @@ impl ExperimentConfig {
         }
     }
 
+    /// Runs one sweep cell. Cells are self-contained; this is the worker
+    /// body for both the per-experiment and the flattened pool.
+    fn run_cell(&self, cell: &Cell) -> RunResult {
+        run_workload(
+            cell.kind,
+            cell.design.clone(),
+            &RunConfig {
+                think_ops_per_txn: cell.think_ops,
+                ..self.run_config(cell.txn_bytes)
+            },
+        )
+    }
+
     /// Runs a sweep's cells through the deterministic job pool.
     ///
     /// `out[i]` is always the result of `cells[i]` regardless of `jobs`, so
     /// callers index the result vector by the same arithmetic they used to
     /// build the cell list.
     fn run_cells(&self, cells: Vec<Cell>) -> Vec<RunResult> {
-        let results = dolos_sim::pool::run_indexed(self.jobs, &cells, |_, cell| {
-            run_workload(
-                cell.kind,
-                cell.design.clone(),
-                &RunConfig {
-                    think_ops_per_txn: cell.think_ops,
-                    ..self.run_config(cell.txn_bytes)
-                },
-            )
-        });
+        let results =
+            dolos_sim::pool::run_indexed(self.jobs, &cells, |_, cell| self.run_cell(cell));
         self.tally(cells.len() as u64, results.iter().map(|r| r.cycles).sum());
         results
     }
@@ -216,27 +272,146 @@ impl ExperimentConfig {
         )
     }
 
-    /// Dispatches one experiment, returning its rendered tables.
-    pub fn run(&self, id: ExperimentId) -> Vec<Table> {
+    /// The sweep-cell list for `id`, when the experiment is a pool sweep.
+    /// Direct experiments — the analytic Table 3, the measured recovery,
+    /// the conformance campaign — return `None` and run outside the flat
+    /// pool.
+    fn sweep_cells(id: ExperimentId) -> Option<Vec<Cell>> {
         match id {
-            ExperimentId::Fig6 => self.fig6(),
-            ExperimentId::Fig12 => self.fig12(),
-            ExperimentId::Table2 => self.table2(),
-            ExperimentId::Fig13 => self.fig13(),
-            ExperimentId::Fig14 => self.fig14(),
-            ExperimentId::Fig15 => self.fig15(),
-            ExperimentId::Fig16 => self.fig16(),
-            ExperimentId::Table3 => self.table3(),
-            ExperimentId::Recovery => self.recovery(),
-            ExperimentId::Ablations => self.ablations(),
-            ExperimentId::Extended => self.extended(),
-            ExperimentId::Conformance => self.conformance(),
-            ExperimentId::Banks => self.banks(),
+            ExperimentId::Fig6 => Some(Self::fig6_cells()),
+            ExperimentId::Fig12 => Some(Self::speedup_cells(UpdateScheme::EagerMerkle)),
+            ExperimentId::Table2 => Some(Self::table2_cells()),
+            ExperimentId::Fig13 => Some(Self::fig13_cells()),
+            ExperimentId::Fig14 => Some(Self::fig14_cells()),
+            ExperimentId::Fig15 => Some(Self::fig15_cells()),
+            ExperimentId::Fig16 => Some(Self::speedup_cells(UpdateScheme::LazyToc)),
+            ExperimentId::Ablations => Some(Self::ablations_cells()),
+            ExperimentId::Extended => Some(Self::extended_cells()),
+            ExperimentId::Banks => Some(Self::banks_cells()),
+            ExperimentId::Table3 | ExperimentId::Recovery | ExperimentId::Conformance => None,
         }
     }
 
-    /// Figure 6: CPI of Pre-WPQ-Secure vs deferred security (Fig 5-b vs 5-c).
-    pub fn fig6(&self) -> Vec<Table> {
+    /// Renders a sweep experiment from its cell results (in cell order).
+    /// Direct experiments have no sweep results and render nothing here.
+    fn render_sweep(id: ExperimentId, results: &[RunResult]) -> Vec<Table> {
+        match id {
+            ExperimentId::Fig6 => Self::fig6_render(results),
+            ExperimentId::Fig12 => Self::speedup_render(
+                results,
+                "Figure 12 — Dolos speedup vs Pre-WPQ-Secure (eager MT, txn 1024 B)",
+                paper::FIG12_AVG_SPEEDUP,
+            ),
+            ExperimentId::Table2 => Self::table2_render(results),
+            ExperimentId::Fig13 => Self::fig13_render(results),
+            ExperimentId::Fig14 => Self::fig14_render(results),
+            ExperimentId::Fig15 => Self::fig15_render(results),
+            ExperimentId::Fig16 => Self::speedup_render(
+                results,
+                "Figure 16 — Dolos speedup vs Pre-WPQ-Secure (lazy ToC, txn 1024 B)",
+                paper::FIG16_AVG_SPEEDUP,
+            ),
+            ExperimentId::Ablations => Self::ablations_render(results),
+            ExperimentId::Extended => Self::extended_render(results),
+            ExperimentId::Banks => Self::banks_render(results),
+            ExperimentId::Table3 | ExperimentId::Recovery | ExperimentId::Conformance => Vec::new(),
+        }
+    }
+
+    /// Dispatches one experiment, returning its rendered tables.
+    pub fn run(&self, id: ExperimentId) -> Vec<Table> {
+        match Self::sweep_cells(id) {
+            Some(cells) => {
+                let results = self.run_cells(cells);
+                Self::render_sweep(id, &results)
+            }
+            None => match id {
+                ExperimentId::Table3 => self.table3(),
+                ExperimentId::Recovery => self.recovery(),
+                // Every other id has sweep cells and took the arm above.
+                _ => self.conformance(),
+            },
+        }
+    }
+
+    /// `experiments bench`: runs every selected experiment's sweep cells as
+    /// ONE flat list through the work-stealing pool, longest-hint-first, so
+    /// slow cells (fig16's lazy-ToC, the drain-bound banks sweep) overlap
+    /// other figures' short cells instead of serializing behind a barrier
+    /// per figure. Direct experiments run sequentially afterwards.
+    ///
+    /// Outcomes are returned in `ids` order, each rendered from its own
+    /// slice of the flat result slab — so tables, cell counts, and
+    /// `sim_cycles` are byte-identical to running the experiments one by
+    /// one, at any `jobs` value. Only the wall-clock fields change.
+    pub fn bench_flat(&self, ids: &[ExperimentId]) -> Vec<BenchOutcome> {
+        let mut spans: Vec<Option<std::ops::Range<usize>>> = Vec::with_capacity(ids.len());
+        let mut flat: Vec<Cell> = Vec::new();
+        for &id in ids {
+            spans.push(Self::sweep_cells(id).map(|cells| {
+                let start = flat.len();
+                flat.extend(cells);
+                start..flat.len()
+            }));
+        }
+        // Per-cell wall time is measured inside the worker: it is the only
+        // wall-clock quantity the schedule can influence, and recording it
+        // per cell is what makes scheduling skew observable in the JSON.
+        let timed = dolos_sim::pool::run_indexed_weighted(
+            self.jobs,
+            &flat,
+            |_, cell| cell.cost_hint(),
+            |_, cell| {
+                let start = Instant::now();
+                let result = self.run_cell(cell);
+                (result, start.elapsed().as_secs_f64() * 1000.0)
+            },
+        );
+        let (results, walls): (Vec<RunResult>, Vec<f64>) = timed.into_iter().unzip();
+        self.tally(results.len() as u64, results.iter().map(|r| r.cycles).sum());
+        ids.iter()
+            .zip(spans)
+            .map(|(&id, span)| match span {
+                Some(span) => {
+                    let slice = &results[span.clone()];
+                    BenchOutcome {
+                        id,
+                        tables: Self::render_sweep(id, slice),
+                        cells: slice.len() as u64,
+                        sim_cycles: slice.iter().map(|r| r.cycles).sum(),
+                        wall_ms: walls[span.clone()].iter().sum(),
+                        cell_wall_ms: walls[span].to_vec(),
+                    }
+                }
+                None => {
+                    let (cells_before, cycles_before) = self.metrics();
+                    let start = Instant::now();
+                    let tables = self.run(id);
+                    let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+                    let (cells_after, cycles_after) = self.metrics();
+                    BenchOutcome {
+                        id,
+                        tables,
+                        cells: cells_after - cells_before,
+                        sim_cycles: cycles_after - cycles_before,
+                        cell_wall_ms: Vec::new(),
+                        wall_ms,
+                    }
+                }
+            })
+            .collect()
+    }
+
+    fn fig6_cells() -> Vec<Cell> {
+        let mut cells = Vec::new();
+        for kind in WorkloadKind::ALL {
+            cells.push(Cell::new(kind, ControllerConfig::baseline(), 1024));
+            cells.push(Cell::new(kind, ControllerConfig::deferred(), 1024));
+        }
+        cells
+    }
+
+    fn fig6_render(results: &[RunResult]) -> Vec<Table> {
         let mut t = Table::new(
             "Figure 6 — CPI: security before vs after WPQ (txn 1024 B, eager)",
             &[
@@ -247,12 +422,6 @@ impl ExperimentConfig {
                 "paper-mean",
             ],
         );
-        let mut cells = Vec::new();
-        for kind in WorkloadKind::ALL {
-            cells.push(Cell::new(kind, ControllerConfig::baseline(), 1024));
-            cells.push(Cell::new(kind, ControllerConfig::deferred(), 1024));
-        }
-        let results = self.run_cells(cells);
         let mut slowdowns = Vec::new();
         for (i, kind) in WorkloadKind::ALL.into_iter().enumerate() {
             let pre = &results[2 * i];
@@ -278,18 +447,14 @@ impl ExperimentConfig {
         vec![t]
     }
 
-    fn speedup_sweep(
-        &self,
-        scheme: UpdateScheme,
-        title: &str,
-        paper_avg: (f64, f64, f64),
-    ) -> Vec<Table> {
-        let mut t = Table::new(
-            title,
-            &["workload", "full", "partial", "post", "paper(avg)"],
-        );
-        // Row-major cells: baseline then the three Mi-SU designs per workload.
-        let stride = 1 + MiSuKind::ALL.len();
+    /// Figure 6: CPI of Pre-WPQ-Secure vs deferred security (Fig 5-b vs 5-c).
+    pub fn fig6(&self) -> Vec<Table> {
+        let results = self.run_cells(Self::fig6_cells());
+        Self::fig6_render(&results)
+    }
+
+    /// Row-major cells: baseline then the three Mi-SU designs per workload.
+    fn speedup_cells(scheme: UpdateScheme) -> Vec<Cell> {
         let mut cells = Vec::new();
         for kind in WorkloadKind::ALL {
             cells.push(Cell::new(
@@ -305,7 +470,19 @@ impl ExperimentConfig {
                 ));
             }
         }
-        let results = self.run_cells(cells);
+        cells
+    }
+
+    fn speedup_render(
+        results: &[RunResult],
+        title: &str,
+        paper_avg: (f64, f64, f64),
+    ) -> Vec<Table> {
+        let mut t = Table::new(
+            title,
+            &["workload", "full", "partial", "post", "paper(avg)"],
+        );
+        let stride = 1 + MiSuKind::ALL.len();
         let mut sums = [0.0f64; 3];
         for (i, kind) in WorkloadKind::ALL.into_iter().enumerate() {
             let base = &results[stride * i];
@@ -336,24 +513,27 @@ impl ExperimentConfig {
 
     /// Figure 12: speedups of the three Mi-SU designs, eager updates.
     pub fn fig12(&self) -> Vec<Table> {
-        self.speedup_sweep(
-            UpdateScheme::EagerMerkle,
-            "Figure 12 — Dolos speedup vs Pre-WPQ-Secure (eager MT, txn 1024 B)",
-            paper::FIG12_AVG_SPEEDUP,
-        )
+        let results = self.run_cells(Self::speedup_cells(UpdateScheme::EagerMerkle));
+        Self::render_sweep(ExperimentId::Fig12, &results)
     }
 
     /// Figure 16: speedups with the lazy (ToC/Phoenix) scheme.
     pub fn fig16(&self) -> Vec<Table> {
-        self.speedup_sweep(
-            UpdateScheme::LazyToc,
-            "Figure 16 — Dolos speedup vs Pre-WPQ-Secure (lazy ToC, txn 1024 B)",
-            paper::FIG16_AVG_SPEEDUP,
-        )
+        let results = self.run_cells(Self::speedup_cells(UpdateScheme::LazyToc));
+        Self::render_sweep(ExperimentId::Fig16, &results)
     }
 
-    /// Table 2: WPQ insertion retry events per kilo write requests.
-    pub fn table2(&self) -> Vec<Table> {
+    fn table2_cells() -> Vec<Cell> {
+        let mut cells = Vec::new();
+        for kind in WorkloadKind::ALL {
+            for &m in MiSuKind::ALL.iter() {
+                cells.push(Cell::new(kind, ControllerConfig::dolos(m), 1024));
+            }
+        }
+        cells
+    }
+
+    fn table2_render(results: &[RunResult]) -> Vec<Table> {
         let mut t = Table::new(
             "Table 2 — WPQ insertion retries per KWR (txn 1024 B, eager)",
             &[
@@ -367,13 +547,6 @@ impl ExperimentConfig {
             ],
         );
         let stride = MiSuKind::ALL.len();
-        let mut cells = Vec::new();
-        for kind in WorkloadKind::ALL {
-            for &m in MiSuKind::ALL.iter() {
-                cells.push(Cell::new(kind, ControllerConfig::dolos(m), 1024));
-            }
-        }
-        let results = self.run_cells(cells);
         for (i, kind) in WorkloadKind::ALL.into_iter().enumerate() {
             let measured: Vec<f64> = results[stride * i..stride * (i + 1)]
                 .iter()
@@ -393,13 +566,13 @@ impl ExperimentConfig {
         vec![t]
     }
 
-    /// Figure 13: Partial-WPQ retries across transaction sizes.
-    pub fn fig13(&self) -> Vec<Table> {
-        let mut t = Table::new(
-            "Figure 13 — Partial-WPQ retries per KWR vs transaction size",
-            &["workload", "128B", "256B", "512B", "1024B", "2048B"],
-        );
-        let stride = paper::TXN_SIZES.len();
+    /// Table 2: WPQ insertion retry events per kilo write requests.
+    pub fn table2(&self) -> Vec<Table> {
+        let results = self.run_cells(Self::table2_cells());
+        Self::table2_render(&results)
+    }
+
+    fn fig13_cells() -> Vec<Cell> {
         let mut cells = Vec::new();
         for kind in WorkloadKind::ALL {
             for &size in &paper::TXN_SIZES {
@@ -410,7 +583,15 @@ impl ExperimentConfig {
                 ));
             }
         }
-        let results = self.run_cells(cells);
+        cells
+    }
+
+    fn fig13_render(results: &[RunResult]) -> Vec<Table> {
+        let mut t = Table::new(
+            "Figure 13 — Partial-WPQ retries per KWR vs transaction size",
+            &["workload", "128B", "256B", "512B", "1024B", "2048B"],
+        );
+        let stride = paper::TXN_SIZES.len();
         for (i, kind) in WorkloadKind::ALL.into_iter().enumerate() {
             let mut row = vec![kind.name().to_owned()];
             for r in &results[stride * i..stride * (i + 1)] {
@@ -421,14 +602,14 @@ impl ExperimentConfig {
         vec![t]
     }
 
-    /// Figure 14: Partial-WPQ speedups across transaction sizes.
-    pub fn fig14(&self) -> Vec<Table> {
-        let mut t = Table::new(
-            "Figure 14 — Partial-WPQ speedup vs transaction size",
-            &["workload", "128B", "256B", "512B", "1024B", "2048B"],
-        );
-        // Two cells per (workload, size): baseline then Dolos-Partial.
-        let stride = 2 * paper::TXN_SIZES.len();
+    /// Figure 13: Partial-WPQ retries across transaction sizes.
+    pub fn fig13(&self) -> Vec<Table> {
+        let results = self.run_cells(Self::fig13_cells());
+        Self::fig13_render(&results)
+    }
+
+    /// Two cells per (workload, size): baseline then Dolos-Partial.
+    fn fig14_cells() -> Vec<Cell> {
         let mut cells = Vec::new();
         for kind in WorkloadKind::ALL {
             for &size in &paper::TXN_SIZES {
@@ -440,7 +621,15 @@ impl ExperimentConfig {
                 ));
             }
         }
-        let results = self.run_cells(cells);
+        cells
+    }
+
+    fn fig14_render(results: &[RunResult]) -> Vec<Table> {
+        let mut t = Table::new(
+            "Figure 14 — Partial-WPQ speedup vs transaction size",
+            &["workload", "128B", "256B", "512B", "1024B", "2048B"],
+        );
+        let stride = 2 * paper::TXN_SIZES.len();
         for (i, kind) in WorkloadKind::ALL.into_iter().enumerate() {
             let mut row = vec![kind.name().to_owned()];
             for j in 0..paper::TXN_SIZES.len() {
@@ -453,23 +642,17 @@ impl ExperimentConfig {
         vec![t]
     }
 
-    /// Figure 15: speedup and retries vs WPQ size (Partial, txn 1024 B).
-    pub fn fig15(&self) -> Vec<Table> {
-        let mut t = Table::new(
-            "Figure 15 — Partial-WPQ speedup vs WPQ size (txn 1024 B)",
-            &[
-                "physical",
-                "usable",
-                "speedup",
-                "retries/KWR",
-                "paper-speedup",
-                "paper-retries",
-            ],
-        );
-        let sizes = [16usize, 32, 64, 128];
-        let stride = 2 * WorkloadKind::ALL.len();
+    /// Figure 14: Partial-WPQ speedups across transaction sizes.
+    pub fn fig14(&self) -> Vec<Table> {
+        let results = self.run_cells(Self::fig14_cells());
+        Self::fig14_render(&results)
+    }
+
+    const FIG15_SIZES: [usize; 4] = [16, 32, 64, 128];
+
+    fn fig15_cells() -> Vec<Cell> {
         let mut cells = Vec::new();
-        for &physical in &sizes {
+        for &physical in &Self::FIG15_SIZES {
             for kind in WorkloadKind::ALL {
                 cells.push(Cell::new(
                     kind,
@@ -483,8 +666,23 @@ impl ExperimentConfig {
                 ));
             }
         }
-        let results = self.run_cells(cells);
-        for (i, physical) in sizes.into_iter().enumerate() {
+        cells
+    }
+
+    fn fig15_render(results: &[RunResult]) -> Vec<Table> {
+        let mut t = Table::new(
+            "Figure 15 — Partial-WPQ speedup vs WPQ size (txn 1024 B)",
+            &[
+                "physical",
+                "usable",
+                "speedup",
+                "retries/KWR",
+                "paper-speedup",
+                "paper-retries",
+            ],
+        );
+        let stride = 2 * WorkloadKind::ALL.len();
+        for (i, physical) in Self::FIG15_SIZES.into_iter().enumerate() {
             let mut speedups = 0.0;
             let mut retries = 0.0;
             for j in 0..WorkloadKind::ALL.len() {
@@ -505,6 +703,12 @@ impl ExperimentConfig {
             ]);
         }
         vec![t]
+    }
+
+    /// Figure 15: speedup and retries vs WPQ size (Partial, txn 1024 B).
+    pub fn fig15(&self) -> Vec<Table> {
+        let results = self.run_cells(Self::fig15_cells());
+        Self::fig15_render(&results)
     }
 
     /// Table 3: Mi-SU storage overhead (analytic, from the implementation).
@@ -598,20 +802,10 @@ impl ExperimentConfig {
         vec![report.table(), report.metamorphic_table()]
     }
 
-    /// Banked-WPQ sweep (DESIGN.md §16, beyond the paper): Figure 16's
-    /// lazy-ToC Full design on a genuinely drain-bound stream — no client
-    /// think time and double-width transactions, so persists outrun a single
-    /// bank's retire rate and the WPQ backs up. The `banks = 1` row is the
-    /// old global single-queue model bit for bit; the speedup column is the
-    /// simulated-cycle win memory-level parallelism buys as drains overlap
-    /// across banks.
-    pub fn banks(&self) -> Vec<Table> {
-        let mut t = Table::new(
-            "Banked WPQ — drain-bound lazy-ToC sweep (Hashmap, Full, txn 2048 B, no think)",
-            &["banks", "cycles", "speedup", "retries/KWR"],
-        );
-        let counts = [1usize, 2, 4, 8];
-        let cells = counts
+    const BANK_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+    fn banks_cells() -> Vec<Cell> {
+        Self::BANK_COUNTS
             .iter()
             .map(|&banks| Cell {
                 kind: WorkloadKind::Hashmap,
@@ -621,9 +815,15 @@ impl ExperimentConfig {
                 txn_bytes: 2048,
                 think_ops: Some(0),
             })
-            .collect();
-        let results = self.run_cells(cells);
-        for (i, &banks) in counts.iter().enumerate() {
+            .collect()
+    }
+
+    fn banks_render(results: &[RunResult]) -> Vec<Table> {
+        let mut t = Table::new(
+            "Banked WPQ — drain-bound lazy-ToC sweep (Hashmap, Full, txn 2048 B, no think)",
+            &["banks", "cycles", "speedup", "retries/KWR"],
+        );
+        for (i, &banks) in Self::BANK_COUNTS.iter().enumerate() {
             t.row(vec![
                 banks.to_string(),
                 results[i].cycles.to_string(),
@@ -633,23 +833,34 @@ impl ExperimentConfig {
         }
         vec![t]
     }
+
+    /// Banked-WPQ sweep (DESIGN.md §16, beyond the paper): Figure 16's
+    /// lazy-ToC Full design on a genuinely drain-bound stream — no client
+    /// think time and double-width transactions, so persists outrun a single
+    /// bank's retire rate and the WPQ backs up. The `banks = 1` row is the
+    /// old global single-queue model bit for bit; the speedup column is the
+    /// simulated-cycle win memory-level parallelism buys as drains overlap
+    /// across banks.
+    pub fn banks(&self) -> Vec<Table> {
+        let results = self.run_cells(Self::banks_cells());
+        Self::banks_render(&results)
+    }
 }
 
 impl ExperimentConfig {
-    /// Ablation studies for the design choices DESIGN.md calls out.
-    pub fn ablations(&self) -> Vec<Table> {
-        let workload = WorkloadKind::Hashmap;
-        let mut out = Vec::new();
+    const ABLATION_MACS: [u64; 4] = [40, 80, 160, 320];
+    const ABLATION_B_KINDS: [WorkloadKind; 2] = [WorkloadKind::Hashmap, WorkloadKind::NstoreYcsb];
+    const ABLATION_KIBS: [usize; 4] = [8, 32, 128, 512];
+    const ABLATION_PHASES: [u64; 4] = [1, 2, 4, 16];
 
-        // (a) MAC latency sweep: the Mi-SU advantage shrinks as MACs get
-        // cheaper (the baseline's eager update scales with the same knob).
-        let mut t = Table::new(
-            "Ablation A — MAC latency sweep (Hashmap, Partial vs baseline)",
-            &["mac cycles", "baseline cycles", "dolos cycles", "speedup"],
-        );
-        let macs = [40u64, 80, 160, 320];
+    /// The four ablation groups' cells, concatenated in group order
+    /// (A: 8 cells, B: 4, C: 4, D: 4); `ablations_render` slices by the
+    /// same offsets.
+    fn ablations_cells() -> Vec<Cell> {
+        let workload = WorkloadKind::Hashmap;
         let mut cells = Vec::new();
-        for &mac in &macs {
+        // (a) MAC latency sweep.
+        for &mac in &Self::ABLATION_MACS {
             cells.push(Cell::new(
                 workload,
                 ControllerConfig::baseline().with_mac_latency(mac),
@@ -661,8 +872,45 @@ impl ExperimentConfig {
                 1024,
             ));
         }
-        let results = self.run_cells(cells);
-        for (i, mac) in macs.into_iter().enumerate() {
+        // (b) Write coalescing (the §4.5 tag array) on/off.
+        for &kind in &Self::ABLATION_B_KINDS {
+            for on in [true, false] {
+                let mut config = ControllerConfig::dolos(MiSuKind::Partial);
+                if !on {
+                    config = config.without_coalescing();
+                }
+                cells.push(Cell::new(kind, config, 1024));
+            }
+        }
+        // (c) Counter-cache size sweep.
+        for &kib in &Self::ABLATION_KIBS {
+            cells.push(Cell::new(
+                workload,
+                ControllerConfig::dolos(MiSuKind::Partial).with_counter_cache_bytes(kib * 1024),
+                1024,
+            ));
+        }
+        // (d) Osiris stop-loss phase.
+        for &phase in &Self::ABLATION_PHASES {
+            cells.push(Cell::new(
+                workload,
+                ControllerConfig::dolos(MiSuKind::Partial).with_osiris_phase(phase),
+                1024,
+            ));
+        }
+        cells
+    }
+
+    fn ablations_render(results: &[RunResult]) -> Vec<Table> {
+        let mut out = Vec::new();
+
+        // (a) MAC latency sweep: the Mi-SU advantage shrinks as MACs get
+        // cheaper (the baseline's eager update scales with the same knob).
+        let mut t = Table::new(
+            "Ablation A — MAC latency sweep (Hashmap, Partial vs baseline)",
+            &["mac cycles", "baseline cycles", "dolos cycles", "speedup"],
+        );
+        for (i, mac) in Self::ABLATION_MACS.into_iter().enumerate() {
             let base = &results[2 * i];
             let dolos = &results[2 * i + 1];
             t.row(vec![
@@ -685,21 +933,10 @@ impl ExperimentConfig {
                 "coalesces",
             ],
         );
-        let b_kinds = [WorkloadKind::Hashmap, WorkloadKind::NstoreYcsb];
-        let mut cells = Vec::new();
-        for &kind in &b_kinds {
-            for on in [true, false] {
-                let mut config = ControllerConfig::dolos(MiSuKind::Partial);
-                if !on {
-                    config = config.without_coalescing();
-                }
-                cells.push(Cell::new(kind, config, 1024));
-            }
-        }
-        let results = self.run_cells(cells);
-        for (i, kind) in b_kinds.into_iter().enumerate() {
+        let b_base = 2 * Self::ABLATION_MACS.len();
+        for (i, kind) in Self::ABLATION_B_KINDS.into_iter().enumerate() {
             for (j, on) in [true, false].into_iter().enumerate() {
-                let r = &results[2 * i + j];
+                let r = &results[b_base + 2 * i + j];
                 t.row(vec![
                     kind.name().into(),
                     if on { "on" } else { "off" }.into(),
@@ -717,20 +954,9 @@ impl ExperimentConfig {
             "Ablation C — counter cache size (Partial, Hashmap)",
             &["cache", "cycles", "hit rate %"],
         );
-        let kibs = [8usize, 32, 128, 512];
-        let cells = kibs
-            .iter()
-            .map(|&kib| {
-                Cell::new(
-                    workload,
-                    ControllerConfig::dolos(MiSuKind::Partial).with_counter_cache_bytes(kib * 1024),
-                    1024,
-                )
-            })
-            .collect();
-        let results = self.run_cells(cells);
-        for (i, kib) in kibs.into_iter().enumerate() {
-            let r = &results[i];
+        let c_base = b_base + 2 * Self::ABLATION_B_KINDS.len();
+        for (i, kib) in Self::ABLATION_KIBS.into_iter().enumerate() {
+            let r = &results[c_base + i];
             let hits = r.stats.get_or_zero("ctr_cache.hits");
             let misses = r.stats.get_or_zero("ctr_cache.misses");
             t.row(vec![
@@ -747,20 +973,9 @@ impl ExperimentConfig {
             "Ablation D — Osiris stop-loss phase (Partial, Hashmap)",
             &["phase", "cycles", "nvm writes"],
         );
-        let phases = [1u64, 2, 4, 16];
-        let cells = phases
-            .iter()
-            .map(|&phase| {
-                Cell::new(
-                    workload,
-                    ControllerConfig::dolos(MiSuKind::Partial).with_osiris_phase(phase),
-                    1024,
-                )
-            })
-            .collect();
-        let results = self.run_cells(cells);
-        for (i, phase) in phases.into_iter().enumerate() {
-            let r = &results[i];
+        let d_base = c_base + Self::ABLATION_KIBS.len();
+        for (i, phase) in Self::ABLATION_PHASES.into_iter().enumerate() {
+            let r = &results[d_base + i];
             t.row(vec![
                 phase.to_string(),
                 r.cycles.to_string(),
@@ -770,28 +985,24 @@ impl ExperimentConfig {
         out.push(t);
         out
     }
+
+    /// Ablation studies for the design choices DESIGN.md calls out.
+    pub fn ablations(&self) -> Vec<Table> {
+        let results = self.run_cells(Self::ablations_cells());
+        Self::ablations_render(&results)
+    }
 }
 
 impl ExperimentConfig {
-    /// Extension workloads and the eADR comparison.
-    ///
-    /// eADR extends the persistence domain to the whole cache hierarchy, so
-    /// security can always run behind the persistence point — the
-    /// `DeferredSecure` model. The paper argues Dolos approaches that bound
-    /// under the *standard* ADR budget; this table quantifies the remaining
-    /// gap.
-    pub fn extended(&self) -> Vec<Table> {
-        let mut t = Table::new(
-            "Extension — Memcached & Vacation, plus the eADR (deferred) bound",
-            &["workload", "dolos-partial", "eadr-bound", "gap %"],
-        );
-        let kinds = [
-            WorkloadKind::Memcached,
-            WorkloadKind::Vacation,
-            WorkloadKind::Hashmap,
-        ];
+    const EXTENDED_KINDS: [WorkloadKind; 3] = [
+        WorkloadKind::Memcached,
+        WorkloadKind::Vacation,
+        WorkloadKind::Hashmap,
+    ];
+
+    fn extended_cells() -> Vec<Cell> {
         let mut cells = Vec::new();
-        for &kind in &kinds {
+        for &kind in &Self::EXTENDED_KINDS {
             cells.push(Cell::new(kind, ControllerConfig::baseline(), 1024));
             cells.push(Cell::new(
                 kind,
@@ -800,8 +1011,15 @@ impl ExperimentConfig {
             ));
             cells.push(Cell::new(kind, ControllerConfig::deferred(), 1024));
         }
-        let results = self.run_cells(cells);
-        for (i, kind) in kinds.into_iter().enumerate() {
+        cells
+    }
+
+    fn extended_render(results: &[RunResult]) -> Vec<Table> {
+        let mut t = Table::new(
+            "Extension — Memcached & Vacation, plus the eADR (deferred) bound",
+            &["workload", "dolos-partial", "eadr-bound", "gap %"],
+        );
+        for (i, kind) in Self::EXTENDED_KINDS.into_iter().enumerate() {
             let base = &results[3 * i];
             let dolos = &results[3 * i + 1];
             let eadr = &results[3 * i + 2];
@@ -815,6 +1033,18 @@ impl ExperimentConfig {
             ]);
         }
         vec![t]
+    }
+
+    /// Extension workloads and the eADR comparison.
+    ///
+    /// eADR extends the persistence domain to the whole cache hierarchy, so
+    /// security can always run behind the persistence point — the
+    /// `DeferredSecure` model. The paper argues Dolos approaches that bound
+    /// under the *standard* ADR budget; this table quantifies the remaining
+    /// gap.
+    pub fn extended(&self) -> Vec<Table> {
+        let results = self.run_cells(Self::extended_cells());
+        Self::extended_render(&results)
     }
 }
 
@@ -956,6 +1186,75 @@ mod tests {
         // A second, structurally different sweep (paired pre/post cells).
         let parallel = ExperimentConfig { jobs: 2, ..tiny() };
         assert_eq!(serial.fig6()[0].render(), parallel.fig6()[0].render());
+    }
+
+    /// The flattened bench sweep renders the same tables and tallies the
+    /// same cells/sim_cycles as the per-experiment path, at any job count,
+    /// with sweeps and direct experiments interleaved in the selected order.
+    #[test]
+    fn bench_flat_matches_per_experiment_path() {
+        let ids = [
+            ExperimentId::Fig6,
+            ExperimentId::Table3,
+            ExperimentId::Table2,
+            ExperimentId::Recovery,
+        ];
+        #[cfg(debug_assertions)]
+        const JOB_COUNTS: &[usize] = &[3];
+        #[cfg(not(debug_assertions))]
+        const JOB_COUNTS: &[usize] = &[1, 2, 5];
+        for &jobs in JOB_COUNTS {
+            let flat = ExperimentConfig { jobs, ..tiny() };
+            let outcomes = flat.bench_flat(&ids);
+            assert_eq!(outcomes.len(), ids.len());
+            let mut flat_cells = 0;
+            let mut flat_cycles = 0;
+            for (outcome, &id) in outcomes.iter().zip(&ids) {
+                assert_eq!(outcome.id, id);
+                // Tables byte-identical to the per-experiment path.
+                let reference = tiny().run(id);
+                assert_eq!(reference.len(), outcome.tables.len(), "{}", id.name());
+                for (a, b) in reference.iter().zip(&outcome.tables) {
+                    assert_eq!(a.render(), b.render(), "{} jobs={jobs}", id.name());
+                }
+                // Sweep outcomes carry one wall sample per cell; direct
+                // outcomes none.
+                match id {
+                    ExperimentId::Table3 | ExperimentId::Recovery => {
+                        assert!(outcome.cell_wall_ms.is_empty(), "{}", id.name());
+                        assert_eq!(outcome.cells, 3, "{}", id.name());
+                    }
+                    _ => {
+                        assert_eq!(
+                            outcome.cell_wall_ms.len() as u64,
+                            outcome.cells,
+                            "{}",
+                            id.name()
+                        );
+                        assert!(outcome.cells > 0, "{}", id.name());
+                        assert!(outcome.sim_cycles > 0, "{}", id.name());
+                    }
+                }
+                flat_cells += outcome.cells;
+                flat_cycles += outcome.sim_cycles;
+            }
+            // The config's global tallies agree with the per-outcome sums.
+            assert_eq!(flat.metrics(), (flat_cells, flat_cycles), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn cost_hints_order_drain_bound_cells_first() {
+        // The hint must rank the historically slow cells (drain-bound 2048 B
+        // banks cells) above ordinary 1024 B sweep cells, and must be a pure
+        // function of the cell (same cell, same hint).
+        let banks = ExperimentConfig::banks_cells();
+        let fig6 = ExperimentConfig::fig6_cells();
+        assert!(banks[0].cost_hint() > fig6[0].cost_hint());
+        assert_eq!(
+            banks[0].cost_hint(),
+            ExperimentConfig::banks_cells()[0].cost_hint()
+        );
     }
 
     #[test]

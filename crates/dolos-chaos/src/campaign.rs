@@ -44,8 +44,9 @@ pub struct CampaignConfig {
     /// Transactions per workload before the crash (0 skips workloads).
     pub workload_txns: usize,
     /// Worker threads for the sweep (0 = auto-detect). Any value produces
-    /// the identical report, byte for byte: cells are partitioned by index
-    /// and merged in canonical order.
+    /// the identical report, byte for byte: results are index-addressed
+    /// regardless of which worker claims a cell, and merged in canonical
+    /// order.
     pub jobs: usize,
 }
 
@@ -347,8 +348,11 @@ fn run_cell(schedule_config: &ScheduleConfig, cell: &Cell) -> CellOutcome {
 
 /// Runs the full campaign. Deterministic: the same config always produces
 /// the same report, byte for byte, at any `jobs` value — cells are
-/// independent (seeds are pre-derived), partitioned by index with no work
-/// stealing, and merged back in canonical design order.
+/// independent (seeds are pre-derived), claimed from a shared index queue
+/// heaviest-first (workload cells scale with their transaction count,
+/// schedule cells with rounds × writes), and every outcome lands in an
+/// index-addressed slot, so the merge below walks canonical design order
+/// no matter which worker ran which cell.
 pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
     let schedule_config = ScheduleConfig {
         rounds: config.rounds,
@@ -389,9 +393,18 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
         }
     }
 
-    let outcomes = dolos_sim::pool::run_indexed(config.jobs, &cells, |_, cell| {
-        run_cell(&schedule_config, cell)
-    });
+    // Cost hints are pure functions of the cell parameters (never of a
+    // measurement), so the longest-first schedule is itself deterministic.
+    let schedule_cost = (config.rounds as u64 * config.writes_per_round as u64).max(1);
+    let outcomes = dolos_sim::pool::run_indexed_weighted(
+        config.jobs,
+        &cells,
+        |_, cell| match cell {
+            Cell::Schedule { .. } => schedule_cost,
+            Cell::Workload { txns, .. } => (*txns as u64 * 4).max(1),
+        },
+        |_, cell| run_cell(&schedule_config, cell),
+    );
 
     // Merge in canonical order: per design, fold its cells' outcomes into a
     // summary exactly as the serial loop did.

@@ -92,6 +92,16 @@ pub struct MinorSecurityUnit {
     leaf_macs: Vec<Mac64>,
     /// Full design: persistent WPQ root register.
     root: Mac64,
+    /// Full design: `root` lags the leaf MACs (host-time memoization).
+    ///
+    /// The root is a pure function of `leaf_macs`, and nothing observes it
+    /// between writes — only an ADR drain (and the recovery that replays
+    /// it) compares against the register. Deferring the streaming recompute
+    /// from every protect/clear to the drain point keeps the register
+    /// value-identical at every observation while skipping the per-write
+    /// host MAC chain. Simulated MAC latency is still charged per write by
+    /// [`Self::protect`], so this moves no simulated cycle.
+    root_dirty: bool,
     /// Persistent dump-table register: MAC over the address, MAC, and
     /// drain-order tables written by the last ADR dump. Protects the dump's
     /// *structure* — without it an attacker could splice a stale order
@@ -182,6 +192,7 @@ impl MinorSecurityUnit {
             pads: Vec::new(),
             leaf_macs: vec![[0; 8]; usable_entries],
             root: [0; 8],
+            root_dirty: false,
             table_root: [0; 8],
             engine_next_issue: Cycle::ZERO,
             deferred_busy_until: Cycle::ZERO,
@@ -252,8 +263,10 @@ impl MinorSecurityUnit {
     }
 
     fn recompute_full_tree(&mut self) {
-        // Runs on every Full-design protect/clear; stream the leaf MACs
-        // instead of collecting a slice-of-slices per call.
+        // Materializes the deferred Full-design root; stream the leaf MACs
+        // instead of collecting a slice-of-slices per call. Protect/clear
+        // only mark `root_dirty`; the register catches up here, at the
+        // drain (or recovery-reset) observation point.
         if self.kind == MiSuKind::Full {
             let mut mac = self.mac.streamer(self.leaf_macs.len());
             for leaf in &self.leaf_macs {
@@ -261,6 +274,7 @@ impl MinorSecurityUnit {
             }
             self.root = mac.finish();
         }
+        self.root_dirty = false;
     }
 
     /// MAC over the dump's three tables, bound to the current epoch.
@@ -344,7 +358,7 @@ impl MinorSecurityUnit {
         let (done, mac) = match self.kind {
             MiSuKind::Full => {
                 self.leaf_macs[slot] = self.entry_mac(slot, addr, &ciphertext);
-                self.recompute_full_tree();
+                self.root_dirty = true;
                 if self.trace.is_enabled() {
                     let mid = issue + self.mac_latency;
                     // Leaf MAC, then the chained WPQ-root recompute.
@@ -399,7 +413,7 @@ impl MinorSecurityUnit {
     pub fn on_clear(&mut self, slot: usize) {
         if self.kind == MiSuKind::Full {
             self.leaf_macs[slot] = [0; 8];
-            self.recompute_full_tree();
+            self.root_dirty = true;
         }
     }
 
@@ -427,6 +441,13 @@ impl MinorSecurityUnit {
         nvm: &mut NvmDevice,
         layout: &MetadataLayout,
     ) {
+        // First observation of the root register since the last write:
+        // materialize the deferred Full-design root so the dump (and the
+        // recovery that re-derives it from the dumped entries) sees exactly
+        // the value an eager per-write recompute would have left here.
+        if self.root_dirty {
+            self.recompute_full_tree();
+        }
         let slots = self.physical_entries as u64;
         // Address table: physical_entries u64 values, EMPTY_SLOT when free.
         let mut addr_table = vec![EMPTY_SLOT; self.physical_entries];
@@ -481,6 +502,11 @@ impl MinorSecurityUnit {
         nvm: &NvmDevice,
         layout: &MetadataLayout,
     ) -> Result<Vec<(LineAddr, Line)>, SecurityError> {
+        // Normally a no-op: the drain that produced the dump already
+        // materialized the root. Guards direct callers that skipped it.
+        if self.root_dirty {
+            self.recompute_full_tree();
+        }
         let recovered = self.read_dump(nvm, layout)?;
         self.finish_recovery();
         Ok(recovered)
@@ -856,10 +882,14 @@ mod tests {
 
     #[test]
     fn full_design_root_tracks_clears() {
+        // The root register is deferred: observe it the way a drain would,
+        // by materializing before each read.
         let mut m = misu(MiSuKind::Full);
         let _ = m.protect(Cycle::ZERO, 0, addr(1), &[1; 64]);
+        m.recompute_full_tree();
         let root_live = m.root;
         m.on_clear(0);
+        m.recompute_full_tree();
         assert_ne!(m.root, root_live);
     }
 }

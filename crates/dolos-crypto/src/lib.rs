@@ -15,7 +15,10 @@
 //!   paper assumes for WPQ entries and BMT nodes), with a streaming
 //!   [`mac::CbcMac`] for part lists that are never materialized contiguously;
 //! * [`latency`] — the cycle costs from Table 1, kept separate from the
-//!   functional code so timing-model changes never touch the data path.
+//!   functional code so timing-model changes never touch the data path;
+//! * [`padcache`] — a direct-mapped memo cache over [`ctr::pad_line`] for
+//!   the Ma-SU's hot same-line rewrite/read-back pattern (host-time only:
+//!   hit and miss return identical bytes).
 //!
 //! Simulated timing comes exclusively from [`latency`]; nothing in the
 //! functional modules feeds the cycle model, so making this crate faster in
@@ -44,6 +47,7 @@ pub mod aes;
 pub mod ctr;
 pub mod latency;
 pub mod mac;
+pub mod padcache;
 
 pub use aes::Aes128;
 pub use ctr::{generate_pad, pad_into, pad_line, Iv, IvBuilder};

@@ -13,6 +13,27 @@
 //! Untouched subtrees use per-level *default* MACs (the MAC of eight default
 //! children), so a tree over millions of pages initializes in O(height).
 //!
+//! # Deferred parent materialization (the parent-MAC cache)
+//!
+//! Interior MACs are pure functions of the *final* leaf contents, so the
+//! host need not recompute a parent chain on every [`update_leaf`] the way
+//! the modeled hardware does — the simulated latency for those AES chains is
+//! charged by the Ma-SU's latency model, never by this structure. The tree
+//! therefore keeps a pending-leaf map (the cache's invalidation set: a leaf
+//! entry is exactly a "my path's cached parents are stale" marker) and
+//! materializes dirty paths *levelwise, once per dirty node*, at the next
+//! observation point ([`root`], [`verify_leaf`], [`tamper_node`],
+//! [`recompute_root`]). A burst of W writes to P distinct pages costs
+//! O(P) parent MACs instead of O(W·height) — every materialized node value
+//! is bit-identical to what the eager walk would have stored, which the
+//! test-only uncached reference pins lockstep.
+//!
+//! [`update_leaf`]: BonsaiMerkleTree::update_leaf
+//! [`root`]: BonsaiMerkleTree::root
+//! [`verify_leaf`]: BonsaiMerkleTree::verify_leaf
+//! [`tamper_node`]: BonsaiMerkleTree::tamper_node
+//! [`recompute_root`]: BonsaiMerkleTree::recompute_root
+//!
 //! The tree does not own a [`MacEngine`]: the engine models a hardware AES
 //! unit shared by every metadata structure in the Ma-SU, so tree operations
 //! borrow it from the caller. This keeps tree construction (including the
@@ -36,9 +57,9 @@ pub const ARITY: u64 = 8;
 ///
 /// let engine = MacEngine::new([1; 16]);
 /// let mut tree = BonsaiMerkleTree::new(64, &engine);
-/// let root0 = tree.root();
+/// let root0 = tree.root(&engine);
 /// tree.update_leaf(&engine, 5, &[0xAB; 64]);
-/// assert_ne!(tree.root(), root0);
+/// assert_ne!(tree.root(&engine), root0);
 /// assert!(tree.verify_leaf(&engine, 5, &[0xAB; 64]));
 /// assert!(!tree.verify_leaf(&engine, 5, &[0xAC; 64]));
 /// ```
@@ -52,6 +73,11 @@ pub struct BonsaiMerkleTree {
     nodes: Vec<FlatMap<Mac64>>,
     defaults: Vec<Mac64>,
     root: Mac64,
+    /// Leaf lines written since the last materialization. A key here means
+    /// the leaf's whole path (leaf MAC included) is stale; only the latest
+    /// line per leaf is kept because intermediate values never reach an
+    /// observation point.
+    pending: FlatMap<Line>,
     updates: u64,
 }
 
@@ -89,6 +115,7 @@ impl BonsaiMerkleTree {
             nodes: vec![FlatMap::new(); height + 1],
             defaults,
             root,
+            pending: FlatMap::new(),
             updates: 0,
         }
     }
@@ -104,8 +131,11 @@ impl BonsaiMerkleTree {
     }
 
     /// The current root MAC. In hardware this value sits in a persistent
-    /// in-processor register and is updated eagerly (AGIT).
-    pub fn root(&self) -> Mac64 {
+    /// in-processor register and is updated eagerly (AGIT); here the host
+    /// materializes any deferred paths first, so the returned value is
+    /// always what the eager walk would hold.
+    pub fn root(&mut self, engine: &MacEngine) -> Mac64 {
+        self.materialize(engine);
         self.root
     }
 
@@ -133,28 +163,57 @@ impl BonsaiMerkleTree {
         engine.tag_parts(&parts)
     }
 
-    /// Eagerly updates the path for leaf `index` whose new content is
-    /// `leaf_line`, returning the new root.
+    /// Materializes every deferred path: tags pending leaves, then walks
+    /// the dirty ancestor frontier level by level so each stale node is
+    /// recomputed exactly once no matter how many pending leaves share it.
+    fn materialize(&mut self, engine: &MacEngine) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let pending = std::mem::replace(&mut self.pending, FlatMap::new());
+        // Pending iterates in ascending leaf order, so parents arrive in
+        // ascending order too and adjacent dedup suffices.
+        let mut dirty: Vec<u64> = Vec::with_capacity(pending.len());
+        for (index, line) in pending.iter() {
+            self.nodes[0].insert(index, engine.tag(line));
+            let parent = index / ARITY;
+            if dirty.last() != Some(&parent) {
+                dirty.push(parent);
+            }
+        }
+        for level in 1..=self.height {
+            let mut next: Vec<u64> = Vec::with_capacity(dirty.len());
+            for &idx in &dirty {
+                let mac = self.parent_mac(engine, level, idx);
+                self.nodes[level].insert(idx, mac);
+                let parent = idx / ARITY;
+                if next.last() != Some(&parent) {
+                    next.push(parent);
+                }
+            }
+            dirty = next;
+        }
+        self.root = self.node(self.height, 0);
+    }
+
+    /// Records the new content of leaf `index`. The path above it is marked
+    /// stale and recomputed at the next observation point; the modeled
+    /// hardware still performs the eager AGIT walk, whose latency the Ma-SU
+    /// charges through the latency model independently of this structure.
     ///
     /// # Panics
     ///
     /// Panics if `index` is out of range.
-    pub fn update_leaf(&mut self, engine: &MacEngine, index: u64, leaf_line: &Line) -> Mac64 {
+    pub fn update_leaf(&mut self, engine: &MacEngine, index: u64, leaf_line: &Line) {
+        let _ = engine; // the engine is spent at materialization time
         assert!(index < self.leaves, "leaf index out of range");
         self.updates += 1;
-        self.nodes[0].insert(index, engine.tag(leaf_line));
-        let mut idx = index;
-        for level in 1..=self.height {
-            idx /= ARITY;
-            let mac = self.parent_mac(engine, level, idx);
-            self.nodes[level].insert(idx, mac);
-        }
-        self.root = self.node(self.height, 0);
-        self.root
+        self.pending.insert(index, *leaf_line);
     }
 
     /// Verifies leaf `index` content against the tree path and root.
-    pub fn verify_leaf(&self, engine: &MacEngine, index: u64, leaf_line: &Line) -> bool {
+    pub fn verify_leaf(&mut self, engine: &MacEngine, index: u64, leaf_line: &Line) -> bool {
+        self.materialize(engine);
         if index >= self.leaves {
             return false;
         }
@@ -178,7 +237,8 @@ impl BonsaiMerkleTree {
     ///
     /// The contents are keyed in a [`BTreeMap`] so the rebuild replays
     /// leaves in ascending index order — recovery work must not depend on
-    /// hash-map iteration order.
+    /// hash-map iteration order. The deferred-materialization path makes
+    /// this a levelwise O(N) build rather than O(N·height).
     ///
     /// Returns the recomputed root; callers compare it with the persistent
     /// root register to detect tampering.
@@ -191,12 +251,15 @@ impl BonsaiMerkleTree {
         for (&idx, line) in contents {
             rebuilt.update_leaf(engine, idx, line);
         }
-        rebuilt.root()
+        rebuilt.root(engine)
     }
 
     /// Overwrites a stored interior/leaf node (models an attacker tampering
-    /// with NVM-resident tree nodes in tests).
-    pub fn tamper_node(&mut self, level: usize, index: u64, mac: Mac64) {
+    /// with NVM-resident tree nodes in tests). Deferred paths materialize
+    /// first — the attacker strikes the tree the hardware would hold, and a
+    /// later materialization must not silently heal the damage.
+    pub fn tamper_node(&mut self, engine: &MacEngine, level: usize, index: u64, mac: Mac64) {
+        self.materialize(engine);
         self.nodes[level].insert(index, mac);
     }
 }
@@ -227,6 +290,7 @@ pub fn data_mac(engine: &MacEngine, addr: u64, counter: u64, ciphertext: &Line) 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dolos_sim::rng::XorShift;
 
     fn engine() -> MacEngine {
         MacEngine::new([7; 16])
@@ -236,9 +300,41 @@ mod tests {
         BonsaiMerkleTree::new(leaves, &engine())
     }
 
+    /// The uncached reference: recomputes the root from first principles
+    /// (full levelwise build over explicit arrays, no incremental state at
+    /// all), so any caching bug in the deferred path breaks lockstep.
+    fn reference_root(engine: &MacEngine, leaves: u64, contents: &BTreeMap<u64, Line>) -> Mac64 {
+        let mut height = 0usize;
+        let mut width = leaves;
+        while width > 1 {
+            width = width.div_ceil(ARITY);
+            height += 1;
+        }
+        let height = height.max(1);
+        let default_leaf = [0u8; 64];
+        let mut level: Vec<Mac64> = (0..leaves)
+            .map(|i| engine.tag(contents.get(&i).unwrap_or(&default_leaf)))
+            .collect();
+        let mut default = engine.tag(&default_leaf);
+        for _ in 1..=height {
+            let groups = level.len().max(1).div_ceil(ARITY as usize);
+            level.resize(groups * ARITY as usize, default);
+            level = level
+                .chunks(ARITY as usize)
+                .map(|c| {
+                    let parts: [&[u8]; ARITY as usize] = core::array::from_fn(|k| &c[k][..]);
+                    engine.tag_parts(&parts)
+                })
+                .collect();
+            let parts: [&[u8]; ARITY as usize] = [&default[..]; ARITY as usize];
+            default = engine.tag_parts(&parts);
+        }
+        level[0]
+    }
+
     #[test]
     fn fresh_tree_verifies_default_leaves() {
-        let t = tree(100);
+        let mut t = tree(100);
         let e = engine();
         assert!(t.verify_leaf(&e, 0, &[0; 64]));
         assert!(t.verify_leaf(&e, 99, &[0; 64]));
@@ -258,8 +354,9 @@ mod tests {
     fn update_changes_root_and_verifies() {
         let mut t = tree(64);
         let e = engine();
-        let r0 = t.root();
-        let r1 = t.update_leaf(&e, 3, &[9; 64]);
+        let r0 = t.root(&e);
+        t.update_leaf(&e, 3, &[9; 64]);
+        let r1 = t.root(&e);
         assert_ne!(r0, r1);
         assert!(t.verify_leaf(&e, 3, &[9; 64]));
         // Sibling leaves still verify with default content.
@@ -281,7 +378,19 @@ mod tests {
         let mut t = tree(64);
         let e = engine();
         t.update_leaf(&e, 3, &[1; 64]);
-        t.tamper_node(1, 0, [0xFF; 8]);
+        t.tamper_node(&e, 1, 0, [0xFF; 8]);
+        assert!(!t.verify_leaf(&e, 3, &[1; 64]));
+    }
+
+    #[test]
+    fn tamper_before_materialization_is_not_healed() {
+        let mut t = tree(64);
+        let e = engine();
+        // The path for leaf 3 is still pending when the attacker strikes its
+        // parent; materialization must not overwrite the tampered node with
+        // a freshly computed (honest) MAC and hide the attack.
+        t.update_leaf(&e, 3, &[1; 64]);
+        t.tamper_node(&e, 1, 0, [0xFF; 8]);
         assert!(!t.verify_leaf(&e, 3, &[1; 64]));
     }
 
@@ -306,7 +415,7 @@ mod tests {
             contents.insert(i, line);
         }
         let recomputed = BonsaiMerkleTree::recompute_root(&e, 200, &contents);
-        assert_eq!(recomputed, t.root());
+        assert_eq!(recomputed, t.root(&e));
     }
 
     #[test]
@@ -321,7 +430,7 @@ mod tests {
         }
         contents.insert(2, [0xEE; 64]); // corrupted recovered leaf
         let recomputed = BonsaiMerkleTree::recompute_root(&e, 200, &contents);
-        assert_ne!(recomputed, t.root());
+        assert_ne!(recomputed, t.root(&e));
     }
 
     #[test]
@@ -343,7 +452,50 @@ mod tests {
 
     #[test]
     fn out_of_range_verify_is_false() {
-        let t = tree(8);
+        let mut t = tree(8);
         assert!(!t.verify_leaf(&engine(), 8, &[0; 64]));
+    }
+
+    #[test]
+    fn memoized_root_lockstep_equals_uncached_reference() {
+        let e = engine();
+        for (seed, leaves) in [(0x1A2Bu64, 1u64), (0x5EED, 8), (0xBEEF, 100), (0xD01, 200)] {
+            let mut rng = XorShift::new(seed);
+            let mut t = BonsaiMerkleTree::new(leaves, &e);
+            let mut contents: BTreeMap<u64, Line> = BTreeMap::new();
+            assert_eq!(t.root(&e), reference_root(&e, leaves, &contents));
+            for step in 0..120u64 {
+                let idx = rng.next_below(leaves);
+                let line = [rng.next_u64() as u8; 64];
+                t.update_leaf(&e, idx, &line);
+                contents.insert(idx, line);
+                match step % 7 {
+                    // Observe the root mid-burst: forces a materialization
+                    // boundary at an arbitrary point in the update stream.
+                    0 | 3 => {
+                        assert_eq!(t.root(&e), reference_root(&e, leaves, &contents));
+                    }
+                    // Verify a random leaf (fresh content passes, a wrong
+                    // line fails) — the other observation point.
+                    1 => {
+                        let probe = rng.next_below(leaves);
+                        let expect = contents.get(&probe).copied().unwrap_or([0; 64]);
+                        assert!(t.verify_leaf(&e, probe, &expect));
+                        let mut wrong = expect;
+                        wrong[0] ^= 0x80;
+                        assert!(!t.verify_leaf(&e, probe, &wrong));
+                    }
+                    // Recovery-style from-scratch rebuild agrees too.
+                    2 => {
+                        let rebuilt = BonsaiMerkleTree::recompute_root(&e, leaves, &contents);
+                        assert_eq!(rebuilt, t.root(&e));
+                    }
+                    // Leave paths pending across iterations.
+                    _ => {}
+                }
+            }
+            assert_eq!(t.root(&e), reference_root(&e, leaves, &contents));
+            assert_eq!(t.updates(), 120);
+        }
     }
 }

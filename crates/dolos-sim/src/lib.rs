@@ -11,8 +11,10 @@
 //! * [`rng`] — a small deterministic RNG plus the Zipfian sampler used by the
 //!   YCSB-style workload;
 //! * [`stats`] — counters and histograms shared by the experiment harness;
-//! * [`pool`] — a deterministic scoped-thread job pool for sweeps whose
+//! * [`pool`] — a deterministic work-stealing job pool for sweeps whose
 //!   output must not depend on thread count;
+//! * [`queue`] — the atomic index queue the pool steals schedule positions
+//!   from;
 //! * [`flat`] — a sorted flat map used for per-line metadata tables whose
 //!   iteration order must be reproducible;
 //! * [`table`] — plain-text table rendering shared by every report surface;
@@ -42,6 +44,7 @@
 
 pub mod flat;
 pub mod pool;
+pub mod queue;
 pub mod resource;
 pub mod rng;
 pub mod stats;

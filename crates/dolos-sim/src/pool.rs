@@ -1,4 +1,4 @@
-//! Deterministic job pool for embarrassingly parallel sweeps.
+//! Deterministic work-stealing pool for embarrassingly parallel sweeps.
 //!
 //! Every paper figure and chaos campaign is a sweep of independent
 //! (design × workload × schedule) simulation cells. This module runs such a
@@ -6,22 +6,27 @@
 //! guarantees everywhere else: **the result is a pure function of the
 //! inputs**, independent of thread count and scheduling.
 //!
-//! The design is deliberately the simplest one with that property:
+//! Earlier revisions partitioned work statically into contiguous chunks,
+//! which idles workers when cell costs are skewed (a whole worker can get
+//! stuck behind one straggler figure). The pool now steals:
 //!
-//! * work is partitioned by *index* into contiguous chunks, one chunk per
-//!   worker — there is no work stealing, so which worker runs a cell is a
-//!   function of the cell's index alone;
-//! * each worker produces a `Vec` of results for its chunk, and the chunks
-//!   are concatenated in chunk order — so the output is always in item
-//!   order, exactly as the serial loop would produce it;
+//! * a shared [`IndexQueue`] cursor hands out small blocks of *schedule
+//!   positions* — workers that finish early claim more, so skew costs at
+//!   most one block, not one chunk;
+//! * which worker runs a cell is a race, but the cell's *result* depends
+//!   only on its index: results land in an index-addressed output slab and
+//!   are read out in item order, so the output — every byte of downstream
+//!   JSON — is exactly what the serial loop produces at any `--jobs`;
+//! * [`run_indexed_weighted`] additionally sorts the schedule by a
+//!   caller-supplied cost hint (longest first, ties by index) so stragglers
+//!   start first and overlap the short tail instead of serializing at the
+//!   end;
 //! * worker panics are re-raised on the calling thread via
 //!   [`std::panic::resume_unwind`], so a failing cell fails the sweep the
 //!   same way it would serially.
 //!
-//! Static partitioning can idle workers when cell costs are skewed; the
-//! sweeps in this workspace are many-cells-per-worker and roughly uniform,
-//! and determinism is worth far more to the harness than the last few
-//! percent of utilization.
+//! The schedule order and the claim interleaving affect *when* a cell runs,
+//! never *what* it returns or where it lands in the output.
 //!
 //! # Examples
 //!
@@ -32,7 +37,13 @@
 //! let serial = pool::run_indexed(1, &items, |i, &x| x * x + i as u64);
 //! let parallel = pool::run_indexed(4, &items, |i, &x| x * x + i as u64);
 //! assert_eq!(serial, parallel);
+//!
+//! // Same guarantee with a cost hint: only the schedule changes.
+//! let weighted = pool::run_indexed_weighted(4, &items, |_, &x| x, |i, &x| x * x + i as u64);
+//! assert_eq!(weighted, serial);
 //! ```
+
+use crate::queue::IndexQueue;
 
 /// Resolves a `--jobs` request to a concrete worker count: `0` means "use
 /// [`std::thread::available_parallelism`]", and the result is clamped to
@@ -48,8 +59,15 @@ pub fn effective_jobs(jobs: usize, items: usize) -> usize {
     requested.clamp(1, items.max(1))
 }
 
+/// Block of schedule positions claimed per steal. Small enough that a
+/// skewed tail costs at most a few cells of imbalance, large enough that
+/// the atomic cursor is not contended per cell.
+fn steal_block(items: usize, jobs: usize) -> usize {
+    (items / (jobs * 8)).clamp(1, 32)
+}
+
 /// Maps `f` over `items` with `jobs` workers, returning results in item
-/// order regardless of thread count.
+/// order regardless of thread count or steal interleaving.
 ///
 /// `f` receives each item's index alongside the item, so stages can derive
 /// per-cell labels or seeds without threading them through the item type.
@@ -58,7 +76,8 @@ pub fn effective_jobs(jobs: usize, items: usize) -> usize {
 ///
 /// # Panics
 ///
-/// Re-raises the first worker panic (in chunk order) on the calling thread.
+/// Re-raises the first worker panic (in worker spawn order) on the calling
+/// thread.
 pub fn run_indexed<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -69,33 +88,80 @@ where
     if jobs <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
-    // Fixed partitioning by index: worker w owns items [w*chunk, (w+1)*chunk).
-    let chunk = items.len().div_ceil(jobs);
-    let mut out = Vec::with_capacity(items.len());
+    let order: Vec<usize> = (0..items.len()).collect();
+    run_stolen(jobs, items, &order, steal_block(items.len(), jobs), &f)
+}
+
+/// Like [`run_indexed`], scheduling costly items first.
+///
+/// `weight` is a deterministic per-item cost hint (higher = start earlier);
+/// ties run in index order. The hint shapes only the steal schedule — the
+/// returned `Vec` is byte-for-byte what [`run_indexed`] and the serial loop
+/// produce. Positions are stolen one at a time so a single long cell never
+/// drags its block-mates behind it.
+///
+/// # Panics
+///
+/// Re-raises the first worker panic (in worker spawn order) on the calling
+/// thread.
+pub fn run_indexed_weighted<T, R, W, F>(jobs: usize, items: &[T], weight: W, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    W: Fn(usize, &T) -> u64,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = effective_jobs(jobs, items.len());
+    if jobs <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(weight(i, &items[i])), i));
+    run_stolen(jobs, items, &order, 1, &f)
+}
+
+/// The shared steal loop: workers claim blocks of `order` positions from an
+/// atomic cursor, compute into local `(index, result)` pairs, and the caller
+/// scatters those into an index-addressed slab after joining in spawn order.
+fn run_stolen<T, R, F>(jobs: usize, items: &[T], order: &[usize], block: usize, f: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let queue = IndexQueue::new(order.len());
+    let mut slab: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
     std::thread::scope(|scope| {
-        let f = &f;
-        let handles: Vec<_> = items
-            .chunks(chunk)
-            .enumerate()
-            .map(|(w, slice)| {
-                let base = w * chunk;
+        let queue = &queue;
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
                 scope.spawn(move || {
-                    slice
-                        .iter()
-                        .enumerate()
-                        .map(|(i, t)| f(base + i, t))
-                        .collect::<Vec<R>>()
+                    let mut mine: Vec<(usize, R)> = Vec::new();
+                    while let Some(positions) = queue.claim(block) {
+                        for &idx in &order[positions] {
+                            mine.push((idx, f(idx, &items[idx])));
+                        }
+                    }
+                    mine
                 })
             })
             .collect();
-        // Join in chunk order: concatenation reproduces item order.
+        // Join in spawn order; the slab, not the join order, fixes the
+        // output order.
         for handle in handles {
             match handle.join() {
-                Ok(results) => out.extend(results),
+                Ok(pairs) => {
+                    for (idx, result) in pairs {
+                        slab[idx] = Some(result);
+                    }
+                }
                 Err(panic) => std::panic::resume_unwind(panic),
             }
         }
     });
+    // Every position was claimed exactly once, so every slot is filled.
+    let out: Vec<R> = slab.into_iter().flatten().collect();
+    assert_eq!(out.len(), items.len(), "steal schedule missed a cell");
     out
 }
 
@@ -125,6 +191,8 @@ mod tests {
         let items: Vec<u32> = Vec::new();
         let got: Vec<u32> = run_indexed(4, &items, |_, &x| x);
         assert!(got.is_empty());
+        let weighted: Vec<u32> = run_indexed_weighted(4, &items, |_, &x| x as u64, |_, &x| x);
+        assert!(weighted.is_empty());
     }
 
     #[test]
@@ -145,5 +213,84 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    /// Deterministic per-(seed, index) pseudo-random sleep, so the steal
+    /// interleaving differs run to run without touching ambient entropy.
+    fn skewed_sleep(seed: u64, i: usize) {
+        let mut x = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        x ^= x >> 33;
+        std::thread::sleep(std::time::Duration::from_micros(x % 200));
+    }
+
+    #[test]
+    fn stolen_output_is_byte_identical_to_serial_under_sleep_skew() {
+        let items: Vec<u64> = (0..61).collect();
+        for seed in [1u64, 2, 3] {
+            let serial: Vec<String> = items
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| format!("{i}/{x}/{seed}"))
+                .collect();
+            for jobs in [1usize, 2, 7, 16] {
+                let got = run_indexed(jobs, &items, |i, &x| {
+                    skewed_sleep(seed, i);
+                    format!("{i}/{x}/{seed}")
+                });
+                assert_eq!(got, serial, "jobs={jobs} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_output_is_byte_identical_to_serial_under_sleep_skew() {
+        let items: Vec<u64> = (0..61).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * 7 + 3).collect();
+        for jobs in [1usize, 2, 7, 16] {
+            // Adversarial hint: schedule in reverse item order.
+            let got = run_indexed_weighted(
+                jobs,
+                &items,
+                |i, _| i as u64,
+                |i, &x| {
+                    skewed_sleep(jobs as u64, i);
+                    x * 7 + 3
+                },
+            );
+            assert_eq!(got, serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn weighted_ties_and_constant_hints_still_reproduce_serial() {
+        let items: Vec<u64> = (0..33).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x + 1).collect();
+        let got = run_indexed_weighted(5, &items, |_, _| 42, |_, &x| x + 1);
+        assert_eq!(got, serial);
+    }
+
+    #[test]
+    fn panic_in_stolen_cell_resumes_on_caller() {
+        let items: Vec<u32> = (0..40).collect();
+        for jobs in [2usize, 7] {
+            let result = std::panic::catch_unwind(|| {
+                run_indexed_weighted(
+                    jobs,
+                    &items,
+                    |i, _| i as u64 % 5,
+                    |_, &x| {
+                        if x == 31 {
+                            panic!("stolen cell failure at {x}");
+                        }
+                        x
+                    },
+                )
+            });
+            let err = result.expect_err("panic must reach the caller");
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(msg.contains("stolen cell failure"), "jobs={jobs}: {msg}");
+        }
     }
 }

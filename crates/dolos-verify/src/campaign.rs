@@ -17,10 +17,11 @@
 //!   is held to the same plaintext oracle as the non-secure reference).
 //!
 //! Determinism mirrors the chaos campaign: scenario seeds are pre-derived,
-//! cells are partitioned by index over [`dolos_sim::pool`], and the merge
-//! is canonical — the report (and its JSON) is byte-identical at any
-//! `--jobs` value. The first failing scenario is shrunk in its worker to a
-//! minimal replayable reproducer.
+//! cells are claimed from [`dolos_sim::pool`]'s shared index queue into
+//! index-addressed result slots, and the merge is canonical — the report
+//! (and its JSON) is byte-identical at any `--jobs` value, whichever worker
+//! steals which cell. The first failing scenario is shrunk in its worker to
+//! a minimal replayable reproducer.
 
 use dolos_chaos::shrink_with;
 use dolos_core::{ControllerConfig, ControllerKind, SecureMemorySystem};
